@@ -1,0 +1,67 @@
+// Command figures regenerates the paper's tables and figures as aligned
+// text tables on stdout.
+//
+// Usage:
+//
+//	figures -list
+//	figures -id fig08 [-quick] [-steps N] [-max-ranks N]
+//	figures -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bricklab/brick/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		id       = flag.String("id", "", "experiment id to run (e.g. fig08, table2)")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		steps    = flag.Int("steps", 0, "override timed timesteps per configuration")
+		maxRanks = flag.Int("max-ranks", 0, "cap strong-scaling rank count")
+		csvDir   = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	opts := experiments.Options{Quick: *quick, Steps: *steps, MaxRanks: *maxRanks, CSVDir: *csvDir}
+	switch {
+	case *list:
+		for _, s := range experiments.All() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Title)
+		}
+	case *all:
+		for _, s := range experiments.All() {
+			fmt.Printf("== %s: %s ==\n", s.ID, s.Title)
+			if err := s.Run(opts, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", s.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case *id != "":
+		s, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q (try -list)\n", *id)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s: %s ==\n", s.ID, s.Title)
+		if err := s.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,46 @@
+// Command msgcount prints the paper's Table 1 — the number of messages a
+// ghost-zone exchange needs per dimension for the three approaches — and
+// can evaluate or optimize custom orderings.
+//
+//	msgcount            # Table 1
+//	msgcount -d 3 -show # print the optimal 3D ordering
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bricklab/brick/internal/experiments"
+	"github.com/bricklab/brick/internal/layout"
+)
+
+func main() {
+	var (
+		dim  = flag.Int("d", 0, "print the shipped ordering for this dimension")
+		show = flag.Bool("show", false, "with -d: print the region order and message grouping")
+	)
+	flag.Parse()
+
+	if *dim == 0 {
+		if err := experiments.Table1(experiments.Options{}, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "msgcount:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	order := layout.Surface(*dim)
+	fmt.Printf("dimension %d: %d regions, %d messages (optimal per Eq.1: %d, basic: %d, recursive construction: %d)\n",
+		*dim, len(order), layout.MessageCount(order), layout.OptimalMessages(*dim), layout.BasicMessages(*dim),
+		layout.MessageCount(layout.Construct(*dim)))
+	if *show {
+		fmt.Print("order:")
+		for _, s := range order {
+			fmt.Printf(" %v", s)
+		}
+		fmt.Println()
+		for _, m := range layout.GroupMessages(*dim, order) {
+			fmt.Printf("to %v: regions %v\n", m.To, order[m.Start:m.Start+m.Len])
+		}
+	}
+}

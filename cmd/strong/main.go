@@ -1,0 +1,80 @@
+// Command strong runs a strong-scaling sweep (the paper's K2/V2): a fixed
+// global domain divided over increasing rank counts, reporting per-timestep
+// communication/computation time and throughput for each point.
+//
+// Example:
+//
+//	strong -global 128 -impl memmap,yask -stencil 7pt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"github.com/bricklab/brick/internal/cli"
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/harness"
+	"os"
+)
+
+func main() {
+	var (
+		global   = flag.Int("global", 128, "global cubic domain dimension")
+		implList = flag.String("impl", "memmap,yask", "comma-separated implementations")
+		stName   = flag.String("stencil", "7pt", "stencil: 7pt or 125pt")
+		iters    = flag.Int("I", 8, "timed timesteps")
+		ghost    = flag.Int("ghost", 8, "ghost width")
+		brickDim = flag.Int("brick", 8, "brick dimension")
+		machine  = flag.String("machine", "theta-knl", "machine profile")
+		maxRanks = flag.Int("max-ranks", 512, "largest rank count to attempt")
+	)
+	flag.Parse()
+
+	st, err := cli.ParseStencil(*stName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strong: %v\n", err)
+		os.Exit(2)
+	}
+	mach, err := cli.ParseMachine(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strong: %v\n", err)
+		os.Exit(2)
+	}
+	sel, err := cli.ParseImplList(*implList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "strong: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-6s %-12s %-10s %-12s %-12s %-12s\n", "ranks", "impl", "dim/rank", "comm_ms", "comp_ms", "GStencil/s")
+	for procs := 2; ; procs *= 2 {
+		n := procs * procs * procs
+		if n > *maxRanks {
+			break
+		}
+		dim := *global / procs
+		if dim < 2**ghost || dim%*brickDim != 0 {
+			break
+		}
+		for _, im := range sel {
+			cfg := harness.Config{
+				Impl:        im,
+				Procs:       [3]int{procs, procs, procs},
+				Dom:         [3]int{dim, dim, dim},
+				Ghost:       *ghost,
+				Shape:       core.Shape{*brickDim, *brickDim, *brickDim},
+				Stencil:     st,
+				Steps:       *iters,
+				Warmup:      1,
+				Machine:     mach,
+				ExpandGhost: true,
+			}
+			res, err := harness.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "strong: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-6d %-12s %-10d %-12.4f %-12.4f %-12.4f\n",
+				n, im.String(), dim, res.Comm.Mean()*1e3, res.Calc.Mean()*1e3, res.GStencils)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command weak mirrors the paper artifact's experiment executables: it runs
+// one configuration on a periodic rank grid and prints the artifact's five
+// metrics — calc, pack, call, wait (seconds per timestep, as
+// [minimum, average, maximum] (σ)) and perf (overall GStencil/s).
+//
+// Example (the paper's K1 point at subdomain 32³ with the Layout method):
+//
+//	weak -impl layout -d 32 -I 16 -ranks 2,2,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bricklab/brick/internal/cli"
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/harness"
+	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/mpi"
+	"github.com/bricklab/brick/internal/trace"
+)
+
+// writeExchangeTrace replays one Layout exchange of the given configuration
+// with event tracing enabled and writes a Chrome trace file.
+func writeExchangeTrace(cfg harness.Config, path string) error {
+	rec := trace.NewRecorder()
+	n := cfg.Procs[0] * cfg.Procs[1] * cfg.Procs[2]
+	w := mpi.NewWorld(n)
+	w.SetTrace(rec)
+	var innerErr error
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{cfg.Procs[2], cfg.Procs[1], cfg.Procs[0]}, []bool{true, true, true})
+		dec, err := core.NewBrickDecomp(cfg.Shape, cfg.Dom, cfg.Ghost, 2, layout.Surface3D())
+		if err != nil {
+			innerErr = err
+			return
+		}
+		bs := dec.Allocate()
+		ex := core.NewExchanger(dec, cart)
+		ex.Exchange(bs)
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.WriteChromeTrace(f)
+}
+
+func main() {
+	var (
+		implName = flag.String("impl", "layout", "implementation: "+cli.ImplNames())
+		dim      = flag.Int("d", 32, "cubic subdomain dimension per rank (elements)")
+		iters    = flag.Int("I", 16, "timed iterations (timesteps)")
+		warmup   = flag.Int("warmup", 2, "untimed warmup timesteps")
+		ranks    = flag.String("ranks", "2,2,2", "rank grid i,j,k (periodic)")
+		ghost    = flag.Int("ghost", 8, "ghost width (elements)")
+		brickDim = flag.Int("brick", 8, "brick dimension")
+		stName   = flag.String("stencil", "7pt", "stencil: 7pt or 125pt")
+		machine  = flag.String("machine", "theta-knl", "machine profile for the network model")
+		expand   = flag.Bool("expand", true, "use ghost-cell expansion")
+		page     = flag.Int("page", 0, "override page size for MemMap padding (bytes)")
+		traceOut = flag.String("trace", "", "write a Chrome trace JSON of one exchange to this file")
+	)
+	flag.Parse()
+
+	im, err := cli.ParseImpl(*implName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "weak: %v\n", err)
+		os.Exit(2)
+	}
+	procs, err := cli.ParseRanks(*ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "weak: -ranks: %v\n", err)
+		os.Exit(2)
+	}
+	st, err := cli.ParseStencil(*stName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "weak: %v\n", err)
+		os.Exit(2)
+	}
+	mach, err := cli.ParseMachine(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "weak: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := harness.Config{
+		Impl:        im,
+		Procs:       procs,
+		Dom:         [3]int{*dim, *dim, *dim},
+		Ghost:       *ghost,
+		Shape:       core.Shape{*brickDim, *brickDim, *brickDim},
+		Stencil:     st,
+		Steps:       *iters,
+		Warmup:      *warmup,
+		Machine:     mach,
+		ExpandGhost: *expand,
+		PageBytes:   *page,
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "weak: %v\n", err)
+		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := writeExchangeTrace(cfg, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "weak: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+
+	fmt.Printf("impl=%s dim=%d ranks=%v stencil=%s steps=%d msgs/exchange=%d wire=%dB",
+		im, *dim, procs, st.Name, *iters, res.MsgsPerExchange, res.WireBytes)
+	if res.Modeled {
+		fmt.Print(" [modeled]")
+	}
+	fmt.Println()
+	fmt.Printf("calc %s\n", res.Calc.String())
+	fmt.Printf("pack %s\n", res.Pack.String())
+	fmt.Printf("call %s\n", res.Call.String())
+	fmt.Printf("wait %s\n", res.Wait.String())
+	fmt.Printf("net  %s (modeled; floor %.3e)\n", res.Network.String(), res.NetworkFloor)
+	fmt.Printf("perf %.4f GStencil/s\n", res.GStencils)
+}

@@ -1,0 +1,148 @@
+// Heat3d: a distributed 3D heat-diffusion solver on bricks, validated
+// against an analytic solution. A periodic sinusoidal temperature field
+// decays as exp(-λt) under explicit-Euler diffusion; the example runs the
+// solver with the MemMap exchange (one message per neighbor, zero copies)
+// and checks the numerical decay rate against theory.
+//
+//	go run ./examples/heat3d [-n 32] [-steps 64] [-memmap=true]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	brick "github.com/bricklab/brick"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 32, "subdomain elements per axis per rank (multiple of 8)")
+		steps  = flag.Int("steps", 64, "timesteps")
+		memmap = flag.Bool("memmap", true, "use the MemMap exchange (false: Layout)")
+	)
+	flag.Parse()
+	if *n%8 != 0 || *n < 16 {
+		fmt.Fprintln(os.Stderr, "heat3d: -n must be a multiple of 8, at least 16")
+		os.Exit(2)
+	}
+
+	const alpha = 0.1 // diffusion number α·dt/dx² per axis (stable: < 1/6)
+	// Explicit Euler 7-point diffusion stencil: u += α·∇²u.
+	diffusion := brick.Stencil{
+		Name:   "heat7",
+		Radius: 1,
+		Points: []brick.StencilPoint{
+			{DI: 0, DJ: 0, DK: 0, C: 1 - 6*alpha},
+			{DI: -1, C: alpha}, {DI: 1, C: alpha},
+			{DJ: -1, C: alpha}, {DJ: 1, C: alpha},
+			{DK: -1, C: alpha}, {DK: 1, C: alpha},
+		},
+	}
+
+	const ghost = 8
+	procs := [3]int{2, 2, 2}
+	global := [3]int{procs[0] * *n, procs[1] * *n, procs[2] * *n}
+
+	// Analytic decay of u = sin(2πx/L)·sin(2πy/L)·sin(2πz/L) under the
+	// discrete operator: each application multiplies the mode by
+	// 1 - 2α·Σ(1-cos(2π/L_a)).
+	lambda := 1.0
+	for a := 0; a < 3; a++ {
+		lambda -= 2 * alpha * (1 - math.Cos(2*math.Pi/float64(global[a])))
+	}
+	expected := math.Pow(lambda, float64(*steps))
+
+	world := brick.NewWorld(8)
+	world.Run(func(c *brick.Comm) {
+		cart := brick.NewCart(c, []int{procs[2], procs[1], procs[0]}, []bool{true, true, true})
+		co := cart.MyCoords()
+		org := [3]int{co[2] * *n, co[1] * *n, co[0] * *n}
+
+		var opts []brick.Option
+		if *memmap {
+			opts = append(opts, brick.WithPageAlignment(os.Getpagesize()))
+		}
+		dec, err := brick.NewBrickDecomp(brick.Shape{8, 8, 8},
+			[3]int{*n, *n, *n}, ghost, 2, brick.Surface3D(), opts...)
+		if err != nil {
+			panic(err)
+		}
+		var storage *brick.BrickStorage
+		if *memmap {
+			if storage, err = dec.MmapAllocate(); err != nil {
+				panic(err)
+			}
+			defer storage.Close()
+		} else {
+			storage = dec.Allocate()
+		}
+		info := dec.BrickInfo()
+		ex := brick.NewExchanger(dec, cart)
+		var view *brick.ExchangeView
+		if *memmap {
+			if view, err = brick.NewExchangeView(ex, storage); err != nil {
+				panic(err)
+			}
+			defer view.Close()
+		}
+
+		mode := func(g [3]int) float64 {
+			return math.Sin(2*math.Pi*float64(g[0])/float64(global[0])) *
+				math.Sin(2*math.Pi*float64(g[1])/float64(global[1])) *
+				math.Sin(2*math.Pi*float64(g[2])/float64(global[2]))
+		}
+		for z := 0; z < *n; z++ {
+			for y := 0; y < *n; y++ {
+				for x := 0; x < *n; x++ {
+					dec.SetElem(storage, 0, x+ghost, y+ghost, z+ghost,
+						mode([3]int{org[0] + x, org[1] + y, org[2] + z}))
+				}
+			}
+		}
+
+		cur := 0
+		for s := 0; s < *steps; s++ {
+			if *memmap {
+				view.Exchange()
+			} else {
+				ex.Exchange(storage)
+			}
+			src := brick.NewBrick(info, storage, cur)
+			dst := brick.NewBrick(info, storage, 1-cur)
+			brick.ApplyBricks(dst, src, dec, diffusion, 0)
+			cur = 1 - cur
+		}
+
+		// Measure the decay factor via the l2 norm against the initial mode.
+		var num, den float64
+		for z := 0; z < *n; z++ {
+			for y := 0; y < *n; y++ {
+				for x := 0; x < *n; x++ {
+					u := dec.Elem(storage, cur, x+ghost, y+ghost, z+ghost)
+					m := mode([3]int{org[0] + x, org[1] + y, org[2] + z})
+					num += u * m
+					den += m * m
+				}
+			}
+		}
+		num = c.Allreduce1(brick.OpSum, num)
+		den = c.Allreduce1(brick.OpSum, den)
+		if c.Rank() == 0 {
+			got := num / den
+			relErr := math.Abs(got-expected) / expected
+			method := "Layout"
+			if *memmap {
+				method = "MemMap"
+			}
+			fmt.Printf("heat3d (%s exchange): global %v, %d steps\n", method, global, *steps)
+			fmt.Printf("decay factor: measured %.9f, analytic %.9f (rel err %.2e)\n", got, expected, relErr)
+			if relErr > 1e-9 {
+				fmt.Println("VALIDATION FAILED")
+				os.Exit(1)
+			}
+			fmt.Println("validation passed: solver matches the analytic decay exactly")
+		}
+	})
+}

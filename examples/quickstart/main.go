@@ -1,0 +1,68 @@
+// Quickstart: the smallest end-to-end use of the brick library — 8 ranks in
+// a periodic cube, a 7-point stencil on bricks, and the pack-free Layout
+// ghost-zone exchange. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	brick "github.com/bricklab/brick"
+)
+
+func main() {
+	const (
+		dim   = 32 // subdomain elements per axis per rank
+		ghost = 8  // ghost width (one 8³ brick)
+		steps = 8
+	)
+	fmt.Printf("optimal 3D layout: %d messages for %d neighbors (Basic would need %d)\n",
+		brick.MessageCount(brick.Surface3D()), brick.NumNeighbors(3), brick.BasicMessages(3))
+
+	world := brick.NewWorld(8)
+	world.Run(func(c *brick.Comm) {
+		cart := brick.NewCart(c, []int{2, 2, 2}, []bool{true, true, true})
+
+		// Decompose this rank's subdomain into 8³ bricks with the optimized
+		// surface layout; two interleaved fields give us a double buffer
+		// that is exchanged in one shot.
+		dec, err := brick.NewBrickDecomp(brick.Shape{8, 8, 8},
+			[3]int{dim, dim, dim}, ghost, 2, brick.Surface3D())
+		if err != nil {
+			panic(err)
+		}
+		storage := dec.Allocate()
+		info := dec.BrickInfo()
+		ex := brick.NewExchanger(dec, cart)
+
+		// Initialize field 0 with a hot spot on rank 0.
+		if c.Rank() == 0 {
+			dec.SetElem(storage, 0, ghost+dim/2, ghost+dim/2, ghost+dim/2, 1000)
+		}
+
+		st := brick.Star7()
+		cur := 0
+		for s := 0; s < steps; s++ {
+			ex.Exchange(storage) // pack-free: 42 contiguous messages
+			src := brick.NewBrick(info, storage, cur)
+			dst := brick.NewBrick(info, storage, 1-cur)
+			brick.ApplyBricks(dst, src, dec, st, 0)
+			cur = 1 - cur
+		}
+
+		// Report how far the hot spot diffused.
+		sum := 0.0
+		for z := 0; z < dim; z++ {
+			for y := 0; y < dim; y++ {
+				for x := 0; x < dim; x++ {
+					sum += dec.Elem(storage, cur, x+ghost, y+ghost, z+ghost)
+				}
+			}
+		}
+		total := c.Allreduce1(brick.OpSum, sum)
+		if c.Rank() == 0 {
+			fmt.Printf("after %d steps: global field sum = %.6f (diffusion conserves the hot spot)\n", steps, total)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module github.com/bricklab/brick
+
+go 1.22

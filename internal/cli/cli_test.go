@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bricklab/brick/internal/harness"
+)
+
+func TestParseImpl(t *testing.T) {
+	cases := map[string]harness.Impl{
+		"layout": harness.Layout, "LAYOUT": harness.Layout, " memmap ": harness.MemMap,
+		"yask": harness.YASK, "yask-ol": harness.YASKOL, "types": harness.MPITypes,
+		"basic": harness.Basic, "shift": harness.Shift, "layout-ol": harness.LayoutOL,
+		"gpu-layout": harness.GPULayoutCA, "gpu-um": harness.GPULayoutUM,
+		"gpu-memmap": harness.GPUMemMapUM, "gpu-types": harness.GPUTypesUM, "gpu-staged": harness.GPUStaged,
+	}
+	for name, want := range cases {
+		got, err := ParseImpl(name)
+		if err != nil || got != want {
+			t.Errorf("ParseImpl(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseImpl("mpi4"); err == nil {
+		t.Error("unknown impl accepted")
+	}
+	if !strings.Contains(ImplNames(), "memmap") {
+		t.Error("ImplNames incomplete")
+	}
+}
+
+func TestParseImplList(t *testing.T) {
+	got, err := ParseImplList("memmap, yask,shift")
+	if err != nil || len(got) != 3 || got[2] != harness.Shift {
+		t.Errorf("list = %v, %v", got, err)
+	}
+	if _, err := ParseImplList(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := ParseImplList("memmap,bogus"); err == nil {
+		t.Error("bad entry accepted")
+	}
+}
+
+func TestParseRanks(t *testing.T) {
+	got, err := ParseRanks("2, 3,4")
+	if err != nil || got != [3]int{2, 3, 4} {
+		t.Errorf("ranks = %v, %v", got, err)
+	}
+	for _, bad := range []string{"2,3", "2,3,4,5", "a,b,c", "0,1,1", "-1,1,1"} {
+		if _, err := ParseRanks(bad); err == nil {
+			t.Errorf("ParseRanks(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseStencil(t *testing.T) {
+	for name, pts := range map[string]int{"7pt": 7, "125pt": 125, "5pt": 5, "Star7": 7, "cube125": 125} {
+		st, err := ParseStencil(name)
+		if err != nil || len(st.Points) != pts {
+			t.Errorf("ParseStencil(%q) = %d points, %v", name, len(st.Points), err)
+		}
+	}
+	if _, err := ParseStencil("27pt"); err == nil {
+		t.Error("unknown stencil accepted")
+	}
+}
+
+func TestParseMachine(t *testing.T) {
+	for _, name := range []string{"theta-knl", "summit-v100", "local"} {
+		if _, err := ParseMachine(name); err != nil {
+			t.Errorf("ParseMachine(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseMachine("frontier"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import "fmt"
+
+// Element addressing: extended coordinates cover the subdomain plus its
+// ghost margin, [0, dom+2·ghost) per axis; the domain proper occupies
+// [ghost, ghost+dom). These helpers bridge the logical lexicographic array
+// world (used to initialize, validate, and compare against the array-based
+// baselines) and brick storage.
+
+// ElementIndex maps an extended-domain element coordinate (i,j,k) to its
+// (brick index, linear in-brick offset). It panics outside the extended
+// domain.
+func (d *BrickDecomp) ElementIndex(i, j, k int) (brick, off int) {
+	c := [3]int{i, j, k}
+	var bc, lc [3]int
+	for a := 0; a < 3; a++ {
+		ext := d.dom[a] + 2*d.ghost
+		if c[a] < 0 || c[a] >= ext {
+			panic(fmt.Sprintf("core: element coordinate %d outside extended axis %d of %d", c[a], a, ext))
+		}
+		bc[a] = c[a] / d.shape[a]
+		lc[a] = c[a] % d.shape[a]
+	}
+	idx := d.BrickIndex(bc)
+	if idx < 0 {
+		panic("core: unmapped brick") // cannot happen within extents
+	}
+	return idx, (lc[2]*d.shape[1]+lc[1])*d.shape[0] + lc[0]
+}
+
+// Elem reads element (i,j,k) of a field from storage (extended coords).
+func (d *BrickDecomp) Elem(bs *BrickStorage, field, i, j, k int) float64 {
+	b, off := d.ElementIndex(i, j, k)
+	return bs.Data[b*bs.Chunk()+field*bs.vol+off]
+}
+
+// SetElem writes element (i,j,k) of a field (extended coords).
+func (d *BrickDecomp) SetElem(bs *BrickStorage, field int, i, j, k int, v float64) {
+	b, off := d.ElementIndex(i, j, k)
+	bs.Data[b*bs.Chunk()+field*bs.vol+off] = v
+}
+
+// ExtDim returns the extended extents (dom + 2·ghost) per axis.
+func (d *BrickDecomp) ExtDim() [3]int {
+	return [3]int{d.dom[0] + 2*d.ghost, d.dom[1] + 2*d.ghost, d.dom[2] + 2*d.ghost}
+}
+
+// FromArray loads a lexicographic extended-domain array (i fastest) into one
+// field of brick storage.
+func (d *BrickDecomp) FromArray(bs *BrickStorage, field int, src []float64) {
+	ext := d.ExtDim()
+	if len(src) != ext[0]*ext[1]*ext[2] {
+		panic(fmt.Sprintf("core: array has %d elements, want %d", len(src), ext[0]*ext[1]*ext[2]))
+	}
+	p := 0
+	for k := 0; k < ext[2]; k++ {
+		for j := 0; j < ext[1]; j++ {
+			for i := 0; i < ext[0]; i++ {
+				d.SetElem(bs, field, i, j, k, src[p])
+				p++
+			}
+		}
+	}
+}
+
+// ToArray extracts one field of brick storage into a lexicographic extended-
+// domain array (i fastest).
+func (d *BrickDecomp) ToArray(bs *BrickStorage, field int) []float64 {
+	ext := d.ExtDim()
+	dst := make([]float64, ext[0]*ext[1]*ext[2])
+	p := 0
+	for k := 0; k < ext[2]; k++ {
+		for j := 0; j < ext[1]; j++ {
+			for i := 0; i < ext[0]; i++ {
+				dst[p] = d.Elem(bs, field, i, j, k)
+				p++
+			}
+		}
+	}
+	return dst
+}

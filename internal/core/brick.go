@@ -1,0 +1,232 @@
+// Package core implements the brick library of Zhao et al. (PPoPP '21):
+// fine-grained data blocking with logical-to-physical indirection, plus the
+// pack-free ghost-zone exchange built on it. A subdomain's elements are
+// grouped into fixed-size bricks stored contiguously in a flat storage; a
+// per-brick adjacency list (BrickInfo) carries the logical organization, so
+// the physical order of bricks is free to be optimized for communication
+// (Layout) or memory-mapped into per-neighbor views (MemMap) without
+// touching the computation, which only ever navigates the adjacency list.
+//
+// Axis convention: extents and coordinates are [3]int indexed 0=i (fastest,
+// unit stride), 1=j, 2=k. layout.Set axis 1 is i, axis 2 is j, axis 3 is k.
+package core
+
+import (
+	"fmt"
+
+	"github.com/bricklab/brick/internal/shmem"
+)
+
+// Shape is the brick extent per axis, e.g. {8, 8, 8} for the paper's 8³
+// bricks.
+type Shape [3]int
+
+// Vol returns elements per brick.
+func (s Shape) Vol() int { return s[0] * s[1] * s[2] }
+
+func (s Shape) validate() error {
+	for a, v := range s {
+		if v <= 0 {
+			return fmt.Errorf("core: brick shape axis %d is %d, must be positive", a, v)
+		}
+	}
+	return nil
+}
+
+// NumAdj is the size of a brick's adjacency row: the 3×3×3 cube of
+// neighboring bricks, including itself at AdjSelf.
+const NumAdj = 27
+
+// AdjSelf is the adjacency-row position of the brick itself.
+const AdjSelf = 13
+
+// AdjIndex maps a per-axis step in {-1,0,1} to an adjacency-row position.
+func AdjIndex(di, dj, dk int) int { return (dk+1)*9 + (dj+1)*3 + (di + 1) }
+
+// NoBrick marks a missing adjacency entry (outside the allocated grid).
+const NoBrick = int32(-1)
+
+// BrickInfo is the logical organization of the bricks: for each brick, the
+// storage indices of its 26 neighbors (and itself). It is the graph-like
+// indirection structure that makes layout optimization possible.
+type BrickInfo struct {
+	shape Shape
+	adj   [][NumAdj]int32
+}
+
+// NewBrickInfo builds an empty adjacency table for n bricks of the given
+// shape, with every entry set to NoBrick.
+func NewBrickInfo(shape Shape, n int) *BrickInfo {
+	if err := shape.validate(); err != nil {
+		panic(err)
+	}
+	bi := &BrickInfo{shape: shape, adj: make([][NumAdj]int32, n)}
+	for b := range bi.adj {
+		for a := range bi.adj[b] {
+			bi.adj[b][a] = NoBrick
+		}
+	}
+	return bi
+}
+
+// Shape returns the brick extents.
+func (bi *BrickInfo) Shape() Shape { return bi.shape }
+
+// NumBricks returns the number of bricks covered by the adjacency table.
+func (bi *BrickInfo) NumBricks() int { return len(bi.adj) }
+
+// SetAdjacency records that stepping (di,dj,dk) bricks from brick b reaches
+// brick nb (NoBrick if none).
+func (bi *BrickInfo) SetAdjacency(b int, di, dj, dk int, nb int32) {
+	bi.adj[b][AdjIndex(di, dj, dk)] = nb
+}
+
+// Adjacent returns the brick reached by stepping (di,dj,dk) from brick b,
+// or NoBrick.
+func (bi *BrickInfo) Adjacent(b int, di, dj, dk int) int32 {
+	return bi.adj[b][AdjIndex(di, dj, dk)]
+}
+
+// BrickStorage is the flat physical storage: bricks are stored consecutively
+// by index, each occupying a chunk of Fields×Vol float64s. Multiple fields
+// interleave within a brick chunk (array-of-structure-of-array), so one
+// exchange moves every field at once.
+type BrickStorage struct {
+	Data   []float64
+	Fields int
+	vol    int
+	arena  *shmem.Arena
+}
+
+// NewBrickStorage allocates heap storage for n bricks of the given shape
+// with the given number of interleaved fields.
+func NewBrickStorage(shape Shape, n, fields int) *BrickStorage {
+	if fields <= 0 {
+		panic("core: at least one field required")
+	}
+	return &BrickStorage{
+		Data:   make([]float64, n*fields*shape.Vol()),
+		Fields: fields,
+		vol:    shape.Vol(),
+	}
+}
+
+// NewMappedBrickStorage allocates storage inside a shared-memory arena so
+// that MemMap exchange views can alias it. The returned storage reports
+// Mapped() true only when real virtual-memory views are available.
+func NewMappedBrickStorage(shape Shape, n, fields int) (*BrickStorage, error) {
+	if fields <= 0 {
+		panic("core: at least one field required")
+	}
+	elems := n * fields * shape.Vol()
+	arena, err := shmem.NewArena(8 * elems)
+	if err != nil {
+		return nil, err
+	}
+	return &BrickStorage{
+		Data:   arena.Float64s()[:elems],
+		Fields: fields,
+		vol:    shape.Vol(),
+		arena:  arena,
+	}, nil
+}
+
+// Chunk returns the elements per brick chunk (Fields × brick volume).
+func (bs *BrickStorage) Chunk() int { return bs.Fields * bs.vol }
+
+// Vol returns the elements per brick per field.
+func (bs *BrickStorage) Vol() int { return bs.vol }
+
+// Mapped reports whether the storage lives in a mappable arena.
+func (bs *BrickStorage) Mapped() bool { return bs.arena != nil && bs.arena.Mapped() }
+
+// Arena returns the backing arena, or nil for heap storage.
+func (bs *BrickStorage) Arena() *shmem.Arena { return bs.arena }
+
+// Close releases arena-backed storage. Heap storage needs no cleanup.
+func (bs *BrickStorage) Close() error {
+	if bs.arena != nil {
+		bs.Data = nil
+		return bs.arena.Close()
+	}
+	return nil
+}
+
+// FieldSlice returns the elements of one field within one brick.
+func (bs *BrickStorage) FieldSlice(brick, field int) []float64 {
+	off := brick*bs.Chunk() + field*bs.vol
+	return bs.Data[off : off+bs.vol]
+}
+
+// Brick is an accessor combining logical organization (BrickInfo) and
+// physical storage for one field. Element indices may extend up to one brick
+// beyond the current brick on each axis; such accesses resolve through the
+// adjacency list, exactly like the paper's b[brickIndex][k][j][i±r] code.
+type Brick struct {
+	Info    *BrickInfo
+	Storage *BrickStorage
+	Field   int
+}
+
+// NewBrick builds an accessor for the given field.
+func NewBrick(info *BrickInfo, storage *BrickStorage, field int) Brick {
+	if field < 0 || field >= storage.Fields {
+		panic(fmt.Sprintf("core: field %d out of range [0,%d)", field, storage.Fields))
+	}
+	if info.shape.Vol() != storage.vol {
+		panic("core: BrickInfo and BrickStorage shapes disagree")
+	}
+	return Brick{Info: info, Storage: storage, Field: field}
+}
+
+// resolve maps possibly-out-of-brick element coordinates to (brick, linear
+// element offset). It panics when the access leaves the 3×3×3 adjacency
+// neighborhood or crosses into a missing brick.
+func (b Brick) resolve(brick, i, j, k int) (int, int) {
+	sh := b.Info.shape
+	di, i := step(i, sh[0])
+	dj, j := step(j, sh[1])
+	dk, k := step(k, sh[2])
+	if di != 0 || dj != 0 || dk != 0 {
+		nb := b.Info.adj[brick][AdjIndex(di, dj, dk)]
+		if nb == NoBrick {
+			panic(fmt.Sprintf("core: access (%d,%d,%d) from brick %d crosses into missing neighbor (%d,%d,%d)",
+				i, j, k, brick, di, dj, dk))
+		}
+		brick = int(nb)
+	}
+	return brick, (k*sh[1]+j)*sh[0] + i
+}
+
+// step maps a coordinate with one brick of slack on each side to a
+// (brick step, local coordinate) pair.
+func step(x, n int) (int, int) {
+	switch {
+	case x < -n || x >= 2*n:
+		panic(fmt.Sprintf("core: coordinate %d outside ±1 brick neighborhood (brick extent %d)", x, n))
+	case x < 0:
+		return -1, x + n
+	case x >= n:
+		return 1, x - n
+	default:
+		return 0, x
+	}
+}
+
+// At reads element (i,j,k) relative to brick's origin, resolving
+// out-of-brick coordinates through the adjacency list.
+func (b Brick) At(brick, i, j, k int) float64 {
+	nb, off := b.resolve(brick, i, j, k)
+	return b.Storage.Data[nb*b.Storage.Chunk()+b.Field*b.Storage.vol+off]
+}
+
+// Set writes element (i,j,k) relative to brick's origin.
+func (b Brick) Set(brick, i, j, k int, v float64) {
+	nb, off := b.resolve(brick, i, j, k)
+	b.Storage.Data[nb*b.Storage.Chunk()+b.Field*b.Storage.vol+off] = v
+}
+
+// FieldBase returns the linear offset of this brick accessor's field within
+// brick index 0's chunk; the field's elements for brick b start at
+// b*Chunk()+FieldBase().
+func (b Brick) FieldBase() int { return b.Field * b.Storage.vol }

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/bricklab/brick/internal/layout"
+)
+
+func mustDecomp(t testing.TB, shape Shape, dom [3]int, ghost, fields int, order []layout.Set) *BrickDecomp {
+	t.Helper()
+	d, err := NewBrickDecomp(shape, dom, ghost, fields, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestShapeVol(t *testing.T) {
+	if got := (Shape{8, 8, 8}).Vol(); got != 512 {
+		t.Errorf("vol = %d", got)
+	}
+	if got := (Shape{4, 2, 1}).Vol(); got != 8 {
+		t.Errorf("vol = %d", got)
+	}
+}
+
+func TestAdjIndex(t *testing.T) {
+	if AdjIndex(0, 0, 0) != AdjSelf {
+		t.Error("self index")
+	}
+	if AdjIndex(-1, -1, -1) != 0 || AdjIndex(1, 1, 1) != 26 {
+		t.Error("corner indices")
+	}
+	seen := map[int]bool{}
+	for dk := -1; dk <= 1; dk++ {
+		for dj := -1; dj <= 1; dj++ {
+			for di := -1; di <= 1; di++ {
+				idx := AdjIndex(di, dj, dk)
+				if idx < 0 || idx >= NumAdj || seen[idx] {
+					t.Fatalf("AdjIndex(%d,%d,%d) = %d", di, dj, dk, idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}
+
+func TestBrickAccessorWithinBrick(t *testing.T) {
+	sh := Shape{4, 4, 4}
+	bi := NewBrickInfo(sh, 1)
+	bs := NewBrickStorage(sh, 1, 1)
+	b := NewBrick(bi, bs, 0)
+	v := 0.0
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 4; i++ {
+				b.Set(0, i, j, k, v)
+				v++
+			}
+		}
+	}
+	if got := b.At(0, 3, 2, 1); got != float64(1*16+2*4+3) {
+		t.Errorf("At(3,2,1) = %v", got)
+	}
+	// Storage layout is i-fastest within the brick.
+	if bs.Data[0] != 0 || bs.Data[1] != 1 || bs.Data[4] != 4 {
+		t.Errorf("storage order: %v", bs.Data[:8])
+	}
+}
+
+func TestBrickAccessorCrossBrick(t *testing.T) {
+	// Two bricks side by side along i.
+	sh := Shape{4, 4, 4}
+	bi := NewBrickInfo(sh, 2)
+	bi.SetAdjacency(0, 1, 0, 0, 1)
+	bi.SetAdjacency(1, -1, 0, 0, 0)
+	bs := NewBrickStorage(sh, 2, 1)
+	b := NewBrick(bi, bs, 0)
+	b.Set(1, 0, 2, 3, 99) // first element of brick 1 at (j=2,k=3)
+	// Reading i=4 from brick 0 must land in brick 1's i=0.
+	if got := b.At(0, 4, 2, 3); got != 99 {
+		t.Errorf("cross-brick read = %v", got)
+	}
+	b.Set(0, 3, 1, 1, 7)
+	if got := b.At(1, -1, 1, 1); got != 7 {
+		t.Errorf("negative cross-brick read = %v", got)
+	}
+}
+
+func TestBrickAccessorMultiField(t *testing.T) {
+	sh := Shape{2, 2, 2}
+	bi := NewBrickInfo(sh, 2)
+	bs := NewBrickStorage(sh, 2, 3)
+	if bs.Chunk() != 24 {
+		t.Fatalf("chunk = %d", bs.Chunk())
+	}
+	for f := 0; f < 3; f++ {
+		b := NewBrick(bi, bs, f)
+		b.Set(1, 1, 1, 1, float64(f+1))
+	}
+	for f := 0; f < 3; f++ {
+		b := NewBrick(bi, bs, f)
+		if got := b.At(1, 1, 1, 1); got != float64(f+1) {
+			t.Errorf("field %d = %v", f, got)
+		}
+	}
+	// Interleaving: brick 1's chunk holds field 0 then 1 then 2.
+	if bs.FieldSlice(1, 1)[7] != 2 {
+		t.Error("field slice interleaving wrong")
+	}
+}
+
+func TestBrickAccessorPanics(t *testing.T) {
+	sh := Shape{4, 4, 4}
+	bi := NewBrickInfo(sh, 1)
+	bs := NewBrickStorage(sh, 1, 1)
+	b := NewBrick(bi, bs, 0)
+	for _, c := range [][3]int{{8, 0, 0}, {-5, 0, 0}, {0, 9, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", c)
+				}
+			}()
+			b.At(0, c[0], c[1], c[2])
+		}()
+	}
+	// Crossing into a missing neighbor panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("missing neighbor access did not panic")
+			}
+		}()
+		b.At(0, 4, 0, 0)
+	}()
+	// Bad field.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad field did not panic")
+			}
+		}()
+		NewBrick(bi, bs, 5)
+	}()
+	// Shape mismatch.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shape mismatch did not panic")
+			}
+		}()
+		NewBrick(NewBrickInfo(Shape{2, 2, 2}, 1), bs, 0)
+	}()
+}
+
+func TestNewBrickStorageValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero fields did not panic")
+		}
+	}()
+	NewBrickStorage(Shape{2, 2, 2}, 1, 0)
+}
+
+func TestMappedStorage(t *testing.T) {
+	bs, err := NewMappedBrickStorage(Shape{8, 8, 8}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	if len(bs.Data) != 4*512 {
+		t.Errorf("len = %d", len(bs.Data))
+	}
+	bs.Data[0] = 5
+	if bs.Arena() == nil {
+		t.Error("arena missing")
+	}
+}
+
+func TestDecompValidation(t *testing.T) {
+	o := layout.Surface3D()
+	cases := []struct {
+		shape  Shape
+		dom    [3]int
+		ghost  int
+		fields int
+		order  []layout.Set
+	}{
+		{Shape{0, 8, 8}, [3]int{16, 16, 16}, 8, 1, o},      // bad shape
+		{Shape{8, 8, 8}, [3]int{12, 16, 16}, 8, 1, o},      // dom not multiple
+		{Shape{8, 8, 8}, [3]int{16, 16, 16}, 4, 1, o},      // ghost not multiple
+		{Shape{8, 8, 8}, [3]int{16, 16, 16}, 0, 1, o},      // zero ghost
+		{Shape{8, 8, 8}, [3]int{8, 16, 16}, 8, 1, o},       // dom < 2*ghost
+		{Shape{8, 8, 8}, [3]int{16, 16, 16}, 8, 0, o},      // zero fields
+		{Shape{8, 8, 8}, [3]int{16, 16, 16}, 8, 1, o[:10]}, // bad order
+		{Shape{8, 4, 8}, [3]int{16, 16, 16}, 8, 1, o},      // inconsistent ghost bricks
+	}
+	for i, c := range cases {
+		if _, err := NewBrickDecomp(c.shape, c.dom, c.ghost, c.fields, c.order); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestDecompPartition(t *testing.T) {
+	// Every brick must be assigned exactly one storage slot; interior +
+	// surface + ghost must partition the grid.
+	d := mustDecomp(t, Shape{4, 4, 4}, [3]int{16, 12, 8}, 4, 1, layout.Surface3D())
+	n := d.GridDim()
+	if n != [3]int{6, 5, 4} {
+		t.Fatalf("grid dims = %v", n)
+	}
+	if d.NumBricks() != 6*5*4 {
+		t.Fatalf("bricks = %d", d.NumBricks())
+	}
+	seen := make([]bool, d.NumBricks())
+	var c [3]int
+	for c[2] = 0; c[2] < n[2]; c[2]++ {
+		for c[1] = 0; c[1] < n[1]; c[1]++ {
+			for c[0] = 0; c[0] < n[0]; c[0]++ {
+				idx := d.BrickIndex(c)
+				if idx < 0 || idx >= d.NumBricks() {
+					t.Fatalf("BrickIndex(%v) = %d", c, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("index %d assigned twice", idx)
+				}
+				seen[idx] = true
+				if got := d.BrickCoord(idx); got != c {
+					t.Fatalf("BrickCoord(%d) = %v, want %v", idx, got, c)
+				}
+			}
+		}
+	}
+	if d.BrickIndex([3]int{-1, 0, 0}) != -1 || d.BrickIndex([3]int{6, 0, 0}) != -1 {
+		t.Error("out-of-grid coords should map to -1")
+	}
+}
+
+func TestDecompRegionSizes(t *testing.T) {
+	// dom 32³, brick 8³, ghost 8 → s=4, g=1 per axis.
+	d := mustDecomp(t, Shape{8, 8, 8}, [3]int{32, 32, 32}, 8, 1, layout.Surface3D())
+	// Interior: (s-2g)³ = 2³ = 8.
+	if d.Interior().NBricks != 8 {
+		t.Errorf("interior = %d", d.Interior().NBricks)
+	}
+	// Face surface region: g × (s-2g)² = 4; edge: g²×(s-2g) = 2; corner: 1.
+	for _, tc := range []struct {
+		t    layout.Set
+		want int
+	}{
+		{layout.FromDirs(-1), 4},
+		{layout.FromDirs(2), 4},
+		{layout.FromDirs(-1, 3), 2},
+		{layout.FromDirs(1, 2, 3), 1},
+	} {
+		if got := d.Surface(tc.t).NBricks; got != tc.want {
+			t.Errorf("surface %v = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	// Ghost group for a face neighbor: g × s² = 16; edge: g²×s = 4; corner 1.
+	for _, tc := range []struct {
+		u    layout.Set
+		want int
+	}{
+		{layout.FromDirs(-1), 16},
+		{layout.FromDirs(-1, 2), 4},
+		{layout.FromDirs(1, -2, 3), 1},
+	} {
+		if got := d.GhostGroup(tc.u).NBricks; got != tc.want {
+			t.Errorf("ghost group %v = %d, want %d", tc.u, got, tc.want)
+		}
+	}
+	// Totals: domain bricks s³=64, ghost = total - 64.
+	if got := len(d.DomainBricks()); got != 64 {
+		t.Errorf("domain bricks = %d", got)
+	}
+}
+
+func TestDecompMessagePlan(t *testing.T) {
+	d := mustDecomp(t, Shape{8, 8, 8}, [3]int{32, 32, 32}, 8, 1, layout.Surface3D())
+	send, recv := d.SendMessages(), d.RecvMessages()
+	if len(send) != 42 {
+		t.Errorf("send messages = %d, want 42 (optimal 3D layout)", len(send))
+	}
+	if len(recv) != 42 {
+		t.Errorf("recv messages = %d, want 42", len(recv))
+	}
+	// Per direction, sends and receives pair up with equal sizes: my k-th
+	// send to S has the size of my k-th receive from S (symmetric ranks).
+	type key struct {
+		dir layout.Set
+		tag int
+	}
+	sendSize := map[key]int{}
+	for _, m := range send {
+		sendSize[key{m.Dir, m.Tag}] = m.Span.NBricks
+	}
+	for _, m := range recv {
+		// Receive from U carries the neighbor's send to U.Opposite(); its
+		// size equals my own send to U.Opposite() with the same tag.
+		want, ok := sendSize[key{m.Dir.Opposite(), m.Tag}]
+		if !ok {
+			t.Errorf("recv (dir %v, tag %d) has no matching send", m.Dir, m.Tag)
+			continue
+		}
+		if m.Span.NBricks != want {
+			t.Errorf("recv (dir %v, tag %d) = %d bricks, send counterpart = %d", m.Dir, m.Tag, m.Span.NBricks, want)
+		}
+	}
+	// Send spans cover each surface brick at least once (overlapping
+	// regions appear in several messages); receives cover all ghost bricks
+	// exactly once.
+	covered := make([]int, d.NumBricks())
+	for _, m := range recv {
+		for b := m.Span.Start; b < m.Span.End(); b++ {
+			covered[b]++
+		}
+	}
+	ghostBricks := 0
+	for _, u := range d.Order() {
+		g := d.GhostGroup(u)
+		for b := g.Start; b < g.End(); b++ {
+			if covered[b] != 1 {
+				t.Fatalf("ghost brick %d covered %d times", b, covered[b])
+			}
+			ghostBricks++
+		}
+	}
+	if ghostBricks != d.NumBricks()-len(d.DomainBricks()) {
+		t.Errorf("ghost bricks %d + domain %d != total %d", ghostBricks, len(d.DomainBricks()), d.NumBricks())
+	}
+}
+
+func TestDecompBasicLayoutMessagePlan(t *testing.T) {
+	d := mustDecomp(t, Shape{8, 8, 8}, [3]int{32, 32, 32}, 8, 1, layout.Lexicographic(3))
+	if got, want := len(d.SendMessages()), layout.MessageCount(layout.Lexicographic(3)); got != want {
+		t.Errorf("lexicographic send messages = %d, want %d", got, want)
+	}
+}
+
+func TestDecompSmallestDomain(t *testing.T) {
+	// dom 16³ with ghost 8 and 8³ bricks: s = 2g, all face/edge surface
+	// regions are empty; only corners carry data. Message plan must drop
+	// empty messages and sizes must stay consistent.
+	d := mustDecomp(t, Shape{8, 8, 8}, [3]int{16, 16, 16}, 8, 1, layout.Surface3D())
+	if d.Interior().NBricks != 0 {
+		t.Errorf("interior = %d", d.Interior().NBricks)
+	}
+	if got := d.Surface(layout.FromDirs(-1)).NBricks; got != 0 {
+		t.Errorf("face region = %d", got)
+	}
+	if got := d.Surface(layout.FromDirs(-1, -2, -3)).NBricks; got != 1 {
+		t.Errorf("corner region = %d", got)
+	}
+	for _, m := range d.SendMessages() {
+		if m.Span.NBricks == 0 {
+			t.Errorf("empty send message to %v survived", m.Dir)
+		}
+	}
+	total := 0
+	for _, m := range d.RecvMessages() {
+		total += m.Span.NBricks
+	}
+	// Ghost bricks: total grid 4³ minus domain 2³ = 56.
+	if total != 56 {
+		t.Errorf("recv plan covers %d ghost bricks, want 56", total)
+	}
+}
+
+func TestElementRoundTrip(t *testing.T) {
+	d := mustDecomp(t, Shape{4, 4, 4}, [3]int{8, 8, 8}, 4, 2, layout.Surface3D())
+	bs := d.Allocate()
+	ext := d.ExtDim()
+	want := make([]float64, ext[0]*ext[1]*ext[2])
+	for p := range want {
+		want[p] = float64(p) * 1.5
+	}
+	d.FromArray(bs, 1, want)
+	got := d.ToArray(bs, 1)
+	for p := range want {
+		if got[p] != want[p] {
+			t.Fatalf("element %d: %v != %v", p, got[p], want[p])
+		}
+	}
+	// Field 0 untouched.
+	for _, v := range d.ToArray(bs, 0) {
+		if v != 0 {
+			t.Fatal("field 0 contaminated")
+		}
+	}
+	// Out-of-range panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range Elem did not panic")
+			}
+		}()
+		d.Elem(bs, 0, ext[0], 0, 0)
+	}()
+}
+
+func TestBrickInfoFromDecomp(t *testing.T) {
+	d := mustDecomp(t, Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 1, layout.Surface3D())
+	bi := d.BrickInfo()
+	if bi.NumBricks() != d.NumBricks() {
+		t.Fatal("count mismatch")
+	}
+	// Every domain brick must have all 27 neighbors.
+	for _, b := range d.DomainBricks() {
+		for dk := -1; dk <= 1; dk++ {
+			for dj := -1; dj <= 1; dj++ {
+				for di := -1; di <= 1; di++ {
+					nb := bi.Adjacent(b, di, dj, dk)
+					if nb == NoBrick {
+						t.Fatalf("domain brick %d missing neighbor (%d,%d,%d)", b, di, dj, dk)
+					}
+					// And adjacency must be geometric.
+					c, nc := d.BrickCoord(b), d.BrickCoord(int(nb))
+					if nc[0]-c[0] != di || nc[1]-c[1] != dj || nc[2]-c[2] != dk {
+						t.Fatalf("adjacency wrong: %v -> %v for step (%d,%d,%d)", c, nc, di, dj, dk)
+					}
+				}
+			}
+		}
+	}
+	// Self entries point home.
+	if bi.Adjacent(3, 0, 0, 0) != 3 {
+		t.Error("self adjacency")
+	}
+}
+
+func TestDecompAccessors(t *testing.T) {
+	d := mustDecomp(t, Shape{8, 8, 8}, [3]int{32, 24, 16}, 8, 3, layout.Surface3D())
+	if d.Shape() != (Shape{8, 8, 8}) || d.Dom() != [3]int{32, 24, 16} || d.Ghost() != 8 || d.Fields() != 3 {
+		t.Error("accessors wrong")
+	}
+	if len(d.Order()) != 26 {
+		t.Error("order wrong")
+	}
+	if d.ExtDim() != [3]int{48, 40, 32} {
+		t.Errorf("ext = %v", d.ExtDim())
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/bricklab/brick/internal/layout"
+)
+
+// Checkpointing: a BrickStorage snapshot is written together with the
+// decomposition parameters that shaped it, so a restore can verify it is
+// loading data with a compatible physical layout. The format is a fixed
+// little-endian header followed by the raw float64 payload.
+
+// checkpointMagic identifies the file format ("BRKCKPT1").
+var checkpointMagic = [8]byte{'B', 'R', 'K', 'C', 'K', 'P', 'T', '1'}
+
+// checkpointHeader captures everything that determines storage layout.
+type checkpointHeader struct {
+	Magic     [8]byte
+	Shape     [3]int32
+	Dom       [3]int32
+	Ghost     int32
+	Fields    int32
+	PageBytes int32
+	PerRegion int32 // bool
+	OrderLen  int32
+	_         int32 // padding to 8-byte alignment
+	Elems     int64
+}
+
+// WriteCheckpoint serializes the storage contents and the decomposition's
+// layout-determining parameters to w.
+func (d *BrickDecomp) WriteCheckpoint(w io.Writer, bs *BrickStorage) error {
+	if len(bs.Data) != d.nb*bs.Chunk() {
+		return fmt.Errorf("core: storage has %d elements, decomposition needs %d", len(bs.Data), d.nb*bs.Chunk())
+	}
+	bw := bufio.NewWriter(w)
+	h := checkpointHeader{
+		Magic:     checkpointMagic,
+		Shape:     [3]int32{int32(d.shape[0]), int32(d.shape[1]), int32(d.shape[2])},
+		Dom:       [3]int32{int32(d.dom[0]), int32(d.dom[1]), int32(d.dom[2])},
+		Ghost:     int32(d.ghost),
+		Fields:    int32(d.fields),
+		PageBytes: int32(d.pageBytes),
+		OrderLen:  int32(len(d.order)),
+		Elems:     int64(len(bs.Data)),
+	}
+	if d.perRegion {
+		h.PerRegion = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, &h); err != nil {
+		return err
+	}
+	for _, s := range d.order {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(s)); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(bs.Data); off += 4096 {
+		n := len(bs.Data) - off
+		if n > 4096 {
+			n = 4096
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(bs.Data[off+i]))
+		}
+		if _, err := bw.Write(buf[:8*n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint restores storage contents previously written by
+// WriteCheckpoint. The checkpoint's decomposition parameters must match
+// this decomposition exactly (same brick shape, domain, ghost width, field
+// count, page alignment, message mode, and layout order); otherwise an
+// error describes the first mismatch.
+func (d *BrickDecomp) ReadCheckpoint(r io.Reader, bs *BrickStorage) error {
+	br := bufio.NewReader(r)
+	var h checkpointHeader
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return fmt.Errorf("core: reading checkpoint header: %w", err)
+	}
+	if h.Magic != checkpointMagic {
+		return fmt.Errorf("core: not a brick checkpoint (bad magic)")
+	}
+	for a := 0; a < 3; a++ {
+		if int(h.Shape[a]) != d.shape[a] {
+			return fmt.Errorf("core: checkpoint brick shape axis %d is %d, decomposition has %d", a, h.Shape[a], d.shape[a])
+		}
+		if int(h.Dom[a]) != d.dom[a] {
+			return fmt.Errorf("core: checkpoint domain axis %d is %d, decomposition has %d", a, h.Dom[a], d.dom[a])
+		}
+	}
+	if int(h.Ghost) != d.ghost {
+		return fmt.Errorf("core: checkpoint ghost %d, decomposition %d", h.Ghost, d.ghost)
+	}
+	if int(h.Fields) != d.fields {
+		return fmt.Errorf("core: checkpoint fields %d, decomposition %d", h.Fields, d.fields)
+	}
+	if int(h.PageBytes) != d.pageBytes {
+		return fmt.Errorf("core: checkpoint page alignment %d, decomposition %d", h.PageBytes, d.pageBytes)
+	}
+	if (h.PerRegion == 1) != d.perRegion {
+		return fmt.Errorf("core: checkpoint message mode mismatch")
+	}
+	if int(h.OrderLen) != len(d.order) {
+		return fmt.Errorf("core: checkpoint order has %d regions, decomposition %d", h.OrderLen, len(d.order))
+	}
+	for i := 0; i < int(h.OrderLen); i++ {
+		var s uint32
+		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
+			return err
+		}
+		if layout.Set(s) != d.order[i] {
+			return fmt.Errorf("core: checkpoint layout order differs at position %d (%v vs %v)", i, layout.Set(s), d.order[i])
+		}
+	}
+	if h.Elems != int64(len(bs.Data)) {
+		return fmt.Errorf("core: checkpoint has %d elements, storage %d", h.Elems, len(bs.Data))
+	}
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(bs.Data); off += 4096 {
+		n := len(bs.Data) - off
+		if n > 4096 {
+			n = 4096
+		}
+		if _, err := io.ReadFull(br, buf[:8*n]); err != nil {
+			return fmt.Errorf("core: reading checkpoint payload: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			bs.Data[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return nil
+}

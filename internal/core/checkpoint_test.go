@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/bricklab/brick/internal/layout"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	d := mustDecomp(t, Shape{4, 4, 4}, [3]int{16, 12, 16}, 4, 2, layout.Surface3D())
+	bs := d.Allocate()
+	for i := range bs.Data {
+		bs.Data[i] = float64(i)*0.5 - 3
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCheckpoint(&buf, bs); err != nil {
+		t.Fatal(err)
+	}
+	restored := d.Allocate()
+	if err := d.ReadCheckpoint(bytes.NewReader(buf.Bytes()), restored); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bs.Data {
+		if restored.Data[i] != bs.Data[i] {
+			t.Fatalf("element %d: %v != %v", i, restored.Data[i], bs.Data[i])
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	d := mustDecomp(t, Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 1, layout.Surface3D())
+	bs := d.Allocate()
+	var buf bytes.Buffer
+	if err := d.WriteCheckpoint(&buf, bs); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mk   func() (*BrickDecomp, error)
+		want string
+	}{
+		{"domain", func() (*BrickDecomp, error) {
+			return NewBrickDecomp(Shape{4, 4, 4}, [3]int{20, 16, 16}, 4, 1, layout.Surface3D())
+		}, "domain"},
+		{"fields", func() (*BrickDecomp, error) {
+			return NewBrickDecomp(Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 2, layout.Surface3D())
+		}, "fields"},
+		{"order", func() (*BrickDecomp, error) {
+			return NewBrickDecomp(Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 1, layout.Lexicographic(3))
+		}, "order"},
+		{"page", func() (*BrickDecomp, error) {
+			return NewBrickDecomp(Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 1, layout.Surface3D(), WithPageAlignment(4096))
+		}, "page"},
+		{"mode", func() (*BrickDecomp, error) {
+			return NewBrickDecomp(Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 1, layout.Surface3D(), WithPerRegionMessages())
+		}, "mode"},
+	}
+	for _, c := range cases {
+		other, err := c.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = other.ReadCheckpoint(bytes.NewReader(buf.Bytes()), other.Allocate())
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s mismatch: err = %v", c.name, err)
+		}
+	}
+}
+
+func TestCheckpointBadInput(t *testing.T) {
+	d := mustDecomp(t, Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 1, layout.Surface3D())
+	bs := d.Allocate()
+	// Garbage magic.
+	if err := d.ReadCheckpoint(bytes.NewReader(make([]byte, 256)), bs); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	if err := d.WriteCheckpoint(&buf, bs); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-100]
+	if err := d.ReadCheckpoint(bytes.NewReader(trunc), bs); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	// Wrong storage size.
+	small := NewBrickStorage(Shape{4, 4, 4}, 2, 1)
+	if err := d.WriteCheckpoint(&buf, small); err == nil {
+		t.Error("mismatched storage accepted on write")
+	}
+}

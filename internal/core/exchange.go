@@ -1,0 +1,232 @@
+package core
+
+import (
+	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/mpi"
+	"github.com/bricklab/brick/internal/shmem"
+)
+
+// Exchanger performs the pack-free ghost-zone exchange for one rank: every
+// message is a contiguous run of brick chunks sent straight out of storage
+// and received straight into ghost storage, with zero packing copies. The
+// message plan comes from the decomposition's layout (42 messages per rank
+// for the optimal 3D layout, 98 for Basic).
+type Exchanger struct {
+	d    *BrickDecomp
+	comm *mpi.Comm
+	rank map[layout.Set]int // neighbor direction -> rank (-1 at open boundary)
+	reqs []*mpi.Request
+}
+
+// cartOffset converts a direction set to a Cartesian displacement in the
+// cart's (k,j,i) axis order.
+func cartOffset(s layout.Set) []int {
+	return []int{s.Axis(3), s.Axis(2), s.Axis(1)}
+}
+
+// NewExchanger resolves neighbor ranks for every direction from a Cartesian
+// topology whose dims are ordered (k,j,i) — i fastest, matching storage.
+func NewExchanger(d *BrickDecomp, cart *mpi.Cart) *Exchanger {
+	e := &Exchanger{d: d, comm: cart.Comm(), rank: make(map[layout.Set]int, 26)}
+	for _, s := range layout.Regions(3) {
+		e.rank[s] = cart.Neighbor(cartOffset(s))
+	}
+	return e
+}
+
+// Decomp returns the decomposition this exchanger serves.
+func (e *Exchanger) Decomp() *BrickDecomp { return e.d }
+
+// NeighborRank returns the rank in direction s, or -1 at an open boundary.
+func (e *Exchanger) NeighborRank(s layout.Set) int { return e.rank[s] }
+
+// Exchange runs one ghost-zone exchange on the given storage: posts all
+// receives, then all sends, then waits for completion. Returns the number
+// of messages this rank sent.
+func (e *Exchanger) Exchange(bs *BrickStorage) int {
+	e.PostReceives(bs)
+	n := e.PostSends(bs)
+	e.Wait()
+	return n
+}
+
+// PostReceives posts the ghost-region receives. Callers composing their own
+// overlap schemes may use PostReceives/PostSends/Wait directly.
+func (e *Exchanger) PostReceives(bs *BrickStorage) {
+	chunk := bs.Chunk()
+	for _, m := range e.d.recvMsgs {
+		src := e.rank[m.Dir]
+		if src < 0 {
+			continue
+		}
+		buf := bs.Data[m.Span.Start*chunk : m.Span.PaddedEnd()*chunk]
+		e.reqs = append(e.reqs, e.comm.Irecv(src, m.Tag, buf))
+	}
+}
+
+// PostSends posts the surface-region sends and returns how many were posted.
+func (e *Exchanger) PostSends(bs *BrickStorage) int {
+	chunk := bs.Chunk()
+	n := 0
+	for _, m := range e.d.sendMsgs {
+		dst := e.rank[m.Dir]
+		if dst < 0 {
+			continue
+		}
+		buf := bs.Data[m.Span.Start*chunk : m.Span.PaddedEnd()*chunk]
+		e.reqs = append(e.reqs, e.comm.Isend(dst, m.Tag, buf))
+		n++
+	}
+	return n
+}
+
+// Wait completes all outstanding requests.
+func (e *Exchanger) Wait() {
+	mpi.Waitall(e.reqs)
+	e.reqs = e.reqs[:0]
+}
+
+// ExchangeView is the MemMap exchange (Section 4): one message per neighbor.
+// Outgoing data for each neighbor is presented as a single contiguous
+// virtual-memory view over the (scattered) surface runs; incoming data lands
+// directly in the contiguous ghost group. When real memory mapping is
+// available the views alias storage with zero copies; otherwise they degrade
+// to gather-before-send copies and Degraded() reports true.
+type ExchangeView struct {
+	e        *Exchanger
+	bs       *BrickStorage
+	sends    []sendView
+	degraded bool
+}
+
+type sendView struct {
+	dir  layout.Set
+	tag  int
+	view *shmem.View // nil when the run collapses to one span or storage is heap-backed
+	runs []MsgSpec   // for heap-backed copy fallback
+	flat []float64   // the contiguous window to send
+}
+
+// NewExchangeView precomputes per-neighbor send views. Storage should come
+// from MmapAllocate for zero-copy views; heap storage yields a functional
+// but degraded (copying) view.
+func NewExchangeView(e *Exchanger, bs *BrickStorage) (*ExchangeView, error) {
+	ev := &ExchangeView{e: e, bs: bs}
+	chunk := bs.Chunk()
+	// Group this rank's send runs by destination, in tag order (tag order
+	// is grouping order per destination).
+	byDst := map[layout.Set][]MsgSpec{}
+	for _, m := range e.d.sendMsgs {
+		byDst[m.Dir] = append(byDst[m.Dir], m)
+	}
+	for _, dir := range e.d.order {
+		runs := byDst[dir]
+		if len(runs) == 0 {
+			continue
+		}
+		sv := sendView{dir: dir, tag: makeTag(dir, 0)}
+		switch {
+		case len(runs) == 1:
+			// Already contiguous; a view would be redundant.
+			sp := runs[0].Span
+			sv.flat = bs.Data[sp.Start*chunk : sp.PaddedEnd()*chunk]
+		case bs.arena == nil:
+			// Heap storage: copy-based fallback window.
+			total := 0
+			for _, r := range runs {
+				total += r.Span.Padded * chunk
+			}
+			sv.runs = runs
+			sv.flat = make([]float64, total)
+			ev.degraded = true
+		default:
+			view, err := mapRuns(bs, runs)
+			if err != nil {
+				return nil, err
+			}
+			sv.view = view
+			sv.flat = view.Float64s()
+			if !view.Mapped() {
+				ev.degraded = true
+			}
+		}
+		ev.sends = append(ev.sends, sv)
+	}
+	return ev, nil
+}
+
+// mapRuns builds a view over the byte ranges of the given brick spans.
+func mapRuns(bs *BrickStorage, runs []MsgSpec) (*shmem.View, error) {
+	arena := bs.arena
+	chunkBytes := 8 * bs.Chunk()
+	segs := make([]shmem.Segment, len(runs))
+	for i, r := range runs {
+		segs[i] = shmem.Segment{Offset: r.Span.Start * chunkBytes, Len: r.Span.Padded * chunkBytes}
+	}
+	return arena.MapVector(segs)
+}
+
+// Degraded reports whether any send view is copy-based rather than aliasing
+// (platform without mmap support, or unaligned chunks).
+func (ev *ExchangeView) Degraded() bool { return ev.degraded }
+
+// NumMessages returns the messages per exchange this rank sends: at most one
+// per neighbor (26 in 3D), the paper's MemMap minimum.
+func (ev *ExchangeView) NumMessages() int { return len(ev.sends) }
+
+// Exchange runs one MemMap ghost-zone exchange: one receive per neighbor
+// into the contiguous ghost group, one send per neighbor from the view.
+func (ev *ExchangeView) Exchange() int {
+	e := ev.e
+	chunk := ev.bs.Chunk()
+	// Post receives: ghost group per neighbor is contiguous, so the single
+	// incoming message lands directly in storage.
+	for _, u := range e.d.order {
+		src := e.rank[u]
+		if src < 0 {
+			continue
+		}
+		grp := e.d.ghostGroup[u]
+		if grp.NBricks == 0 {
+			continue
+		}
+		buf := ev.bs.Data[grp.Start*chunk : grp.PaddedEnd()*chunk]
+		e.reqs = append(e.reqs, e.comm.Irecv(src, makeTag(u.Opposite(), 0), buf))
+	}
+	n := 0
+	for _, sv := range ev.sends {
+		dst := e.rank[sv.dir]
+		if dst < 0 {
+			continue
+		}
+		switch {
+		case sv.view != nil && !sv.view.Mapped():
+			sv.view.Gather() // degraded mode: packing copy
+		case sv.runs != nil:
+			off := 0
+			for _, r := range sv.runs {
+				n := r.Span.Padded * chunk
+				copy(sv.flat[off:off+n], ev.bs.Data[r.Span.Start*chunk:r.Span.PaddedEnd()*chunk])
+				off += n
+			}
+		}
+		e.reqs = append(e.reqs, e.comm.Isend(dst, sv.tag, sv.flat))
+		n++
+	}
+	e.Wait()
+	return n
+}
+
+// Close releases the views.
+func (ev *ExchangeView) Close() error {
+	var first error
+	for _, sv := range ev.sends {
+		if sv.view != nil {
+			if err := sv.view.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	ev.sends = nil
+	return first
+}

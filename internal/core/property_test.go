@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/bricklab/brick/internal/layout"
+)
+
+// TestDecompInvariantsProperty checks structural invariants over random
+// valid decompositions: spans partition storage, region sizes add up, and
+// the message plan covers ghost bricks exactly once.
+func TestDecompInvariantsProperty(t *testing.T) {
+	f := func(si, sj, sk, gsel, osel uint8) bool {
+		// Brick 4³; ghost in {4, 8}; domain axes in 2g + {0,4,8,12}.
+		g := 4 * (int(gsel)%2 + 1)
+		dom := [3]int{
+			2*g + 4*(int(si)%4),
+			2*g + 4*(int(sj)%4),
+			2*g + 4*(int(sk)%4),
+		}
+		order := layout.Surface3D()
+		if osel%2 == 1 {
+			order = layout.Lexicographic(3)
+		}
+		d, err := NewBrickDecomp(Shape{4, 4, 4}, dom, g, 1, order)
+		if err != nil {
+			return false
+		}
+		// Invariant 1: interior + surface + ghost groups = total bricks
+		// (minus padding, which is zero here).
+		total := d.Interior().NBricks
+		for _, t := range order {
+			total += d.Surface(t).NBricks
+		}
+		for _, u := range order {
+			total += d.GhostGroup(u).NBricks
+		}
+		if total != d.NumBricks()-d.PadBricks() {
+			return false
+		}
+		// Invariant 2: recv plan covers every ghost brick exactly once.
+		covered := make([]int, d.NumBricks())
+		for _, m := range d.RecvMessages() {
+			for b := m.Span.Start; b < m.Span.End(); b++ {
+				covered[b]++
+			}
+		}
+		for _, u := range order {
+			grp := d.GhostGroup(u)
+			for b := grp.Start; b < grp.End(); b++ {
+				if covered[b] != 1 {
+					return false
+				}
+			}
+		}
+		// Invariant 3: send message spans stay within surface storage.
+		surfLo := d.Interior().End()
+		surfHi := surfLo
+		for _, t := range order {
+			if e := d.Surface(t).PaddedEnd(); e > surfHi {
+				surfHi = e
+			}
+		}
+		for _, m := range d.SendMessages() {
+			if m.Span.Start < surfLo || m.Span.PaddedEnd() > surfHi {
+				return false
+			}
+		}
+		// Invariant 4: grid<->index round trip.
+		n := d.GridDim()
+		for _, c := range [][3]int{{0, 0, 0}, {n[0] - 1, n[1] - 1, n[2] - 1}, {n[0] / 2, 0, n[2] - 1}} {
+			idx := d.BrickIndex(c)
+			if idx < 0 || d.BrickCoord(idx) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestElementIndexProperty: every extended coordinate maps to a distinct
+// (brick, offset) pair and round-trips through Elem/SetElem.
+func TestElementIndexProperty(t *testing.T) {
+	d := mustDecomp(t, Shape{4, 4, 4}, [3]int{8, 12, 8}, 4, 1, layout.Surface3D())
+	bs := d.Allocate()
+	ext := d.ExtDim()
+	f := func(xi, yi, zi uint16) bool {
+		x, y, z := int(xi)%ext[0], int(yi)%ext[1], int(zi)%ext[2]
+		b, off := d.ElementIndex(x, y, z)
+		if b < 0 || b >= d.NumBricks() || off < 0 || off >= d.Shape().Vol() {
+			return false
+		}
+		v := float64(x*1000000 + y*1000 + z)
+		d.SetElem(bs, 0, x, y, z, v)
+		return d.Elem(bs, 0, x, y, z) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTagUniquenessProperty: across the full send plan, (destination, tag)
+// pairs never collide — the invariant that keeps tiny periodic grids (where
+// one rank serves several directions) correct.
+func TestTagUniquenessProperty(t *testing.T) {
+	for _, order := range [][]layout.Set{layout.Surface3D(), layout.Lexicographic(3)} {
+		for _, perRegion := range []bool{false, true} {
+			var opts []Option
+			if perRegion {
+				opts = append(opts, WithPerRegionMessages())
+			}
+			d, err := NewBrickDecomp(Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 1, order, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[[2]int]bool{}
+			for _, m := range d.SendMessages() {
+				key := [2]int{int(m.Dir), m.Tag}
+				if seen[key] {
+					t.Fatalf("duplicate (dir,tag) = %v", key)
+				}
+				seen[key] = true
+			}
+			// Tags alone must be unique too (a peer can be the neighbor in
+			// every direction on a 1-rank periodic grid).
+			tags := map[int]bool{}
+			for _, m := range d.SendMessages() {
+				if tags[m.Tag] {
+					t.Fatalf("duplicate tag %d", m.Tag)
+				}
+				tags[m.Tag] = true
+			}
+		}
+	}
+}
+
+// TestOppositeGhostSurfaceSymmetry: for uniform subdomains, the ghost
+// sub-block receiving region r(T) has exactly r(T)'s size — the property
+// that makes sender/receiver buffer lengths agree without negotiation.
+func TestOppositeGhostSurfaceSymmetry(t *testing.T) {
+	d := mustDecomp(t, Shape{4, 4, 4}, [3]int{16, 12, 20}, 4, 1, layout.Surface3D())
+	for _, u := range layout.Regions(3) {
+		grp := d.GhostGroup(u)
+		sum := 0
+		for _, tr := range layout.RegionsFor(3, u.Opposite()) {
+			sum += d.Surface(tr).NBricks
+		}
+		if grp.NBricks != sum {
+			t.Errorf("ghost group %v has %d bricks, matching surface regions total %d", u, grp.NBricks, sum)
+		}
+	}
+}

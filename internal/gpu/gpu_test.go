@@ -1,0 +1,352 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/mpi"
+	"github.com/bricklab/brick/internal/netmodel"
+	"github.com/bricklab/brick/internal/stencil"
+)
+
+func TestKernelRoofline(t *testing.T) {
+	spec := DeviceSpec{Flops: 1e9, MemBW: 1e9, Launch: time.Microsecond, PageSize: 4096}
+	d := NewDevice(spec, netmodel.SummitV100())
+	// Flop-bound: 1000 elems × 1000 flops at 1 GF/s = 1 ms; memory side is
+	// 16 KB at 1 GB/s = 16 µs.
+	got := d.Kernel(1000, 1000, 16)
+	want := time.Millisecond + time.Microsecond
+	if got != want {
+		t.Errorf("flop-bound kernel = %v, want %v", got, want)
+	}
+	// Memory-bound: 1000 elems × 1 flop, 1 MB traffic -> 1 ms.
+	got = d.Kernel(1000, 1, 1000)
+	if got != want {
+		t.Errorf("mem-bound kernel = %v, want %v", got, want)
+	}
+	if d.KernelTime != 2*want {
+		t.Errorf("accumulated = %v", d.KernelTime)
+	}
+	if d.Kernel(0, 10, 10) != 0 {
+		t.Error("empty kernel should cost nothing")
+	}
+	d.Reset()
+	if d.KernelTime != 0 || d.Faults != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestPageTable(t *testing.T) {
+	spec := V100()
+	spec.PageSize = 4096
+	d := NewDevice(spec, netmodel.SummitV100())
+	pt := NewPageTable(d, 10*4096)
+	if pt.NumPages() != 10 {
+		t.Fatalf("pages = %d", pt.NumPages())
+	}
+	// All pages start on device.
+	if pt.ResidentOnDevice() != 10 {
+		t.Fatal("initial residency")
+	}
+	// Host touches 1.5 pages: the aligned first page is accessed remotely
+	// (no migration); the partial second page migrates -> 1 fault.
+	cost := pt.HostAccess(0, 6000)
+	if d.Faults != 1 || cost <= 0 {
+		t.Errorf("faults = %d cost = %v", d.Faults, cost)
+	}
+	if pt.ResidentOnDevice() != 9 {
+		t.Errorf("device-resident = %d, want 9", pt.ResidentOnDevice())
+	}
+	// Re-touching is free.
+	if pt.HostAccess(0, 6000) != 0 {
+		t.Error("repeat access charged")
+	}
+	// A fully page-aligned host access never migrates.
+	if pt.HostAccess(2*4096, 3*4096) != 0 {
+		t.Error("aligned access migrated pages")
+	}
+	// An unaligned access with both ends partial migrates both end pages.
+	if pt.HostAccess(3*4096+8, 4096) == 0 || d.Faults != 3 {
+		t.Errorf("double-partial access: faults = %d, want 3", d.Faults)
+	}
+	// Device pulls everything back: only the host pages fault.
+	pt.DeviceAccess(0, 10*4096)
+	if d.Faults != 6 {
+		t.Errorf("faults = %d, want 6", d.Faults)
+	}
+	if pt.ResidentOnDevice() != 10 {
+		t.Error("not all device resident")
+	}
+	// Zero-length access is free.
+	if pt.HostAccess(100, 0) != 0 {
+		t.Error("zero access charged")
+	}
+}
+
+func TestPageTableOutOfRangePanics(t *testing.T) {
+	d := NewDevice(V100(), netmodel.SummitV100())
+	pt := NewPageTable(d, 65536)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	pt.HostAccess(0, 65537)
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		LayoutCA: "LayoutCA", LayoutUM: "LayoutUM",
+		MemMapUM: "MemMapUM", TypesUM: "MPI_TypesUM", Strategy(9): "Strategy(9)",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d -> %q", int(s), s.String())
+		}
+	}
+}
+
+// runStrategy executes a few timesteps on 8 simulated GPU ranks and checks
+// numerical agreement with a CPU reference (single-rank periodic equivalent
+// is complex; instead strategies are compared pairwise: all four must agree
+// element-wise since they implement the same math).
+func runStrategy(t *testing.T, strat Strategy, dom [3]int, steps int) ([]float64, CommCost) {
+	t.Helper()
+	const ghost = 4
+	st := stencil.Star7()
+	var result []float64
+	var cost CommCost
+	w := mpi.NewWorld(8)
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{2, 2, 2}, []bool{true, true, true})
+		spec := V100()
+		spec.PageSize = 4096 // keep arena-view compatibility in tests
+		sim, err := NewSim(cart, Config{
+			Strategy: strat,
+			Dom:      dom,
+			Ghost:    ghost,
+			Shape:    core.Shape{4, 4, 4},
+			Order:    layout.Surface3D(),
+			Machine:  netmodel.SummitV100(),
+			Spec:     spec,
+			Stencil:  st,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer sim.Close()
+		co := cart.MyCoords()
+		sim.Init(func(x, y, z int) float64 {
+			gx := co[2]*dom[0] + x
+			gy := co[1]*dom[1] + y
+			gz := co[0]*dom[2] + z
+			return math.Sin(float64(gx)) + math.Cos(float64(gy)*0.7) + float64(gz)*0.01
+		})
+		for s := 0; s < steps; s++ {
+			cc := sim.Exchange()
+			sim.Compute(0)
+			if c.Rank() == 0 {
+				cost.Link += cc.Link
+				cost.Fault += cc.Fault
+				cost.Engine += cc.Engine
+				cost.Msgs += cc.Msgs
+				cost.Data += cc.Data
+				cost.Wire += cc.Wire
+			}
+		}
+		if c.Rank() == 0 {
+			result = make([]float64, 0, dom[0]*dom[1]*dom[2])
+			for z := 0; z < dom[2]; z++ {
+				for y := 0; y < dom[1]; y++ {
+					for x := 0; x < dom[0]; x++ {
+						result = append(result, sim.Elem(x+ghost, y+ghost, z+ghost))
+					}
+				}
+			}
+		}
+	})
+	return result, cost
+}
+
+func TestStrategiesAgreeNumerically(t *testing.T) {
+	// dom 12³ with 4³ bricks and ghost 4: every surface region is non-empty,
+	// so the full 42-message plan is exercised.
+	dom := [3]int{12, 12, 12}
+	ref, refCost := runStrategy(t, LayoutCA, dom, 3)
+	if refCost.Msgs != 3*42 {
+		t.Errorf("LayoutCA messages = %d, want 126", refCost.Msgs)
+	}
+	for _, strat := range []Strategy{LayoutUM, MemMapUM, TypesUM} {
+		got, _ := runStrategy(t, strat, dom, 3)
+		if len(got) != len(ref) {
+			t.Fatalf("%v: length %d vs %d", strat, len(got), len(ref))
+		}
+		for i := range ref {
+			if math.Abs(got[i]-ref[i]) > 1e-12 {
+				t.Fatalf("%v diverges from LayoutCA at %d: %v vs %v", strat, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestStrategyCostShapes(t *testing.T) {
+	dom := [3]int{16, 16, 16}
+	_, ca := runStrategy(t, LayoutCA, dom, 2)
+	_, um := runStrategy(t, LayoutUM, dom, 2)
+	_, mm := runStrategy(t, MemMapUM, dom, 2)
+	_, ty := runStrategy(t, TypesUM, dom, 2)
+
+	// Message counts per exchange: Layout 42, MemMap/Types 26.
+	if ca.Msgs != 84 || um.Msgs != 84 {
+		t.Errorf("layout msgs = %d/%d, want 84", ca.Msgs, um.Msgs)
+	}
+	if mm.Msgs != 52 || ty.Msgs != 52 {
+		t.Errorf("per-neighbor msgs = %d/%d, want 52", mm.Msgs, ty.Msgs)
+	}
+	// CUDA-aware pays no faults; page-aligned MemMap pays none either (the
+	// Figure 15 effect); unaligned UM strategies do.
+	if ca.Fault != 0 {
+		t.Error("LayoutCA charged faults")
+	}
+	if mm.Fault != 0 {
+		t.Errorf("page-aligned MemMapUM charged faults (%v)", mm.Fault)
+	}
+	if um.Fault <= 0 || ty.Fault <= 0 {
+		t.Error("unaligned UM strategies must fault")
+	}
+	// MemMap padding inflates wire bytes beyond data bytes (4³ bricks are
+	// sub-page); Layout does not pad.
+	if mm.Wire <= mm.Data {
+		t.Errorf("MemMap wire %d not padded beyond data %d", mm.Wire, mm.Data)
+	}
+	if ca.Wire != ca.Data {
+		t.Errorf("LayoutCA padded: wire %d data %d", ca.Wire, ca.Data)
+	}
+	// Types pays the datatype engine; others don't.
+	if ty.Engine <= 0 || ca.Engine != 0 || mm.Engine != 0 {
+		t.Error("engine cost attribution wrong")
+	}
+	// Overall modeled comm: Types slowest, CA fastest of the four (small
+	// subdomain, paper Figure 14).
+	if !(ty.Total() > um.Total() && ty.Total() > mm.Total()) {
+		t.Errorf("Types (%v) should be slowest (um %v, mm %v)", ty.Total(), um.Total(), mm.Total())
+	}
+	_ = um
+	if ca.Total() >= ty.Total() {
+		t.Errorf("CA (%v) should beat Types (%v)", ca.Total(), ty.Total())
+	}
+}
+
+func TestNetworkFloor(t *testing.T) {
+	dec, err := core.NewBrickDecomp(core.Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 2, layout.Surface3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := netmodel.SummitV100()
+	floor := NetworkFloor(dec, mach, netmodel.Network)
+	if floor <= 0 {
+		t.Fatal("floor not positive")
+	}
+	// The floor must not exceed the modeled cost of the 42-message Layout
+	// plan on the same link (fewer messages, same bytes).
+	var layoutCost time.Duration
+	chunkBytes := 8 * dec.Fields() * dec.Shape().Vol()
+	for _, m := range dec.SendMessages() {
+		layoutCost += mach.Cost(netmodel.Network, m.Span.NBricks*chunkBytes)
+	}
+	if floor > layoutCost {
+		t.Errorf("floor %v exceeds layout cost %v", floor, layoutCost)
+	}
+}
+
+func TestGhostExpansionOnGPUSim(t *testing.T) {
+	// Exchange every 4 steps with shrinking margins must equal exchanging
+	// every step (margin 0): run LayoutCA both ways and compare.
+	dom := [3]int{8, 8, 8}
+	const ghost = 4
+	st := stencil.Star7()
+	run := func(expand bool) []float64 {
+		var out []float64
+		w := mpi.NewWorld(8)
+		w.Run(func(c *mpi.Comm) {
+			cart := mpi.NewCart(c, []int{2, 2, 2}, []bool{true, true, true})
+			sim, err := NewSim(cart, Config{
+				Strategy: LayoutCA, Dom: dom, Ghost: ghost,
+				Shape: core.Shape{4, 4, 4}, Order: layout.Surface3D(),
+				Machine: netmodel.SummitV100(), Spec: V100(), Stencil: st,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sim.Close()
+			co := cart.MyCoords()
+			sim.Init(func(x, y, z int) float64 {
+				return float64((co[2]*dom[0]+x)*31+(co[1]*dom[1]+y)*17) * 0.001 * float64(co[0]*dom[2]+z+1)
+			})
+			const steps = 4
+			for s := 0; s < steps; s++ {
+				if expand {
+					if s%4 == 0 {
+						sim.Exchange()
+					}
+					sim.Compute(ghost - 1 - s%4)
+				} else {
+					sim.Exchange()
+					sim.Compute(0)
+				}
+			}
+			if c.Rank() == 0 {
+				for z := 0; z < dom[2]; z++ {
+					for y := 0; y < dom[1]; y++ {
+						for x := 0; x < dom[0]; x++ {
+							out = append(out, sim.Elem(x+ghost, y+ghost, z+ghost))
+						}
+					}
+				}
+			}
+		})
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("ghost expansion diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStagedArrayStrategy(t *testing.T) {
+	dom := [3]int{12, 12, 12}
+	ref, _ := runStrategy(t, LayoutCA, dom, 3)
+	got, cost := runStrategy(t, StagedArray, dom, 3)
+	for i := range ref {
+		if math.Abs(got[i]-ref[i]) > 1e-12 {
+			t.Fatalf("Staged diverges at %d: %v vs %v", i, got[i], ref[i])
+		}
+	}
+	if cost.Msgs != 3*26 {
+		t.Errorf("Staged messages = %d, want 78", cost.Msgs)
+	}
+	if cost.Fault <= 0 {
+		t.Error("staging charged no host-transfer time")
+	}
+	if StagedArray.String() != "Staged" {
+		t.Error("name")
+	}
+	// At a volume where staging matters (32³ per rank: two whole-array
+	// transfers per exchange plus real host packing), Staged must cost more
+	// than CUDA-Aware — the paper's motivation for CA/UM. (At tiny domains
+	// the 42 GPUDirect latencies can exceed the staging cost, which is why
+	// this comparison uses a realistic size.)
+	big := [3]int{32, 32, 32}
+	_, staged := runStrategy(t, StagedArray, big, 2)
+	_, ca := runStrategy(t, LayoutCA, big, 2)
+	if staged.Total() <= ca.Total() {
+		t.Errorf("Staged (%v) should cost more than LayoutCA (%v) at 32³", staged.Total(), ca.Total())
+	}
+}

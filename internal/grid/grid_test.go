@@ -1,0 +1,306 @@
+package grid
+
+import (
+	"testing"
+
+	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/mpi"
+)
+
+func TestNewGrid(t *testing.T) {
+	g := New([3]int{8, 4, 2}, 2)
+	if g.Ext != [3]int{12, 8, 6} {
+		t.Errorf("ext = %v", g.Ext)
+	}
+	if len(g.Data) != 12*8*6 {
+		t.Errorf("len = %d", len(g.Data))
+	}
+	g.Set(3, 2, 1, 5)
+	if g.At(3, 2, 1) != 5 {
+		t.Error("at/set")
+	}
+	if g.Idx(1, 0, 0) != 1 || g.Idx(0, 1, 0) != 12 || g.Idx(0, 0, 1) != 96 {
+		t.Error("i must be fastest")
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New([3]int{0, 4, 4}, 1) },
+		func() { New([3]int{4, 4, 4}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegions(t *testing.T) {
+	g := New([3]int{8, 8, 8}, 2)
+	// Face send region +i: last ghost-width slab of the domain, full extent
+	// on other axes.
+	lo, hi := g.SendRegion(layout.FromDirs(1))
+	if lo != [3]int{8, 2, 2} || hi != [3]int{10, 10, 10} {
+		t.Errorf("send +i region = %v..%v", lo, hi)
+	}
+	// Face recv region +i: the ghost slab beyond the domain.
+	lo, hi = g.RecvRegion(layout.FromDirs(1))
+	if lo != [3]int{10, 2, 2} || hi != [3]int{12, 10, 10} {
+		t.Errorf("recv +i region = %v..%v", lo, hi)
+	}
+	// Corner send region: ghost³ cube at the domain corner.
+	lo, hi = g.SendRegion(layout.FromDirs(-1, -2, -3))
+	if lo != [3]int{2, 2, 2} || hi != [3]int{4, 4, 4} {
+		t.Errorf("corner send = %v..%v", lo, hi)
+	}
+	if RegionCount(lo, hi) != 8 {
+		t.Error("corner count")
+	}
+	// Recv regions of distinct directions are disjoint; send regions of a
+	// face and its adjacent corner overlap (standard packed exchange).
+	rlo1, rhi1 := g.RecvRegion(layout.FromDirs(-1))
+	rlo2, rhi2 := g.RecvRegion(layout.FromDirs(-1, -2))
+	if overlap(rlo1, rhi1, rlo2, rhi2) {
+		t.Error("recv regions overlap")
+	}
+	slo1, shi1 := g.SendRegion(layout.FromDirs(-1))
+	slo2, shi2 := g.SendRegion(layout.FromDirs(-1, -2))
+	if !overlap(slo1, shi1, slo2, shi2) {
+		t.Error("send face and corner should overlap")
+	}
+}
+
+func overlap(alo, ahi, blo, bhi [3]int) bool {
+	for a := 0; a < 3; a++ {
+		if ahi[a] <= blo[a] || bhi[a] <= alo[a] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	g := New([3]int{8, 8, 8}, 2)
+	for i := range g.Data {
+		g.Data[i] = float64(i)
+	}
+	lo, hi := g.SendRegion(layout.FromDirs(1, -2))
+	buf := make([]float64, RegionCount(lo, hi))
+	if n := g.Pack(lo, hi, buf); n != len(buf) {
+		t.Fatalf("packed %d, want %d", n, len(buf))
+	}
+	// Clear the region, unpack, verify restoration.
+	g2 := New([3]int{8, 8, 8}, 2)
+	g2.Unpack(lo, hi, buf)
+	for k := lo[2]; k < hi[2]; k++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			for i := lo[0]; i < hi[0]; i++ {
+				if g2.At(i, j, k) != g.At(i, j, k) {
+					t.Fatalf("(%d,%d,%d) mismatch", i, j, k)
+				}
+			}
+		}
+	}
+	// Outside untouched.
+	if g2.At(0, 0, 0) != 0 {
+		t.Error("unpack leaked")
+	}
+}
+
+func TestPackMatchesSubarray(t *testing.T) {
+	g := New([3]int{8, 6, 4}, 2)
+	for i := range g.Data {
+		g.Data[i] = float64(3*i + 1)
+	}
+	for _, s := range layout.Regions(3) {
+		lo, hi := g.SendRegion(s)
+		a := make([]float64, RegionCount(lo, hi))
+		b := make([]float64, RegionCount(lo, hi))
+		g.Pack(lo, hi, a)
+		g.Subarray(lo, hi).Pack(g.Data, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("region %v element %d: pack %v vs subarray %v", s, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func gval(x, y, z int) float64 { return float64(z)*1e6 + float64(y)*1e3 + float64(x) }
+
+// verifyGridExchange checks full periodic ghost correctness for either
+// exchanger kind ("pack", "overlap", or "types").
+func verifyGridExchange(t *testing.T, kind string) {
+	t.Helper()
+	dom := [3]int{8, 8, 8}
+	const ghost = 2
+	procs := [3]int{2, 2, 2}
+	global := [3]int{16, 16, 16}
+	w := mpi.NewWorld(8)
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{procs[2], procs[1], procs[0]}, []bool{true, true, true})
+		co := cart.MyCoords()
+		origin := [3]int{co[2] * dom[0], co[1] * dom[1], co[0] * dom[2]}
+		g := New(dom, ghost)
+		for z := 0; z < dom[2]; z++ {
+			for y := 0; y < dom[1]; y++ {
+				for x := 0; x < dom[0]; x++ {
+					g.Set(x+ghost, y+ghost, z+ghost, gval(origin[0]+x, origin[1]+y, origin[2]+z))
+				}
+			}
+		}
+		var tm PackTimings
+		switch kind {
+		case "pack":
+			NewPackExchanger(g, cart).Exchange(&tm)
+		case "overlap":
+			e := NewPackExchanger(g, cart)
+			e.Begin(&tm)
+			e.End(&tm)
+		case "types":
+			e := NewTypesExchanger(g, cart)
+			e.Exchange(&tm)
+			if e.Elems <= 0 {
+				t.Error("datatype engine processed no elements")
+			}
+		}
+		if tm.Pack < 0 || tm.Call < 0 || tm.Wait < 0 {
+			t.Error("negative timings")
+		}
+		for z := 0; z < g.Ext[2]; z++ {
+			for y := 0; y < g.Ext[1]; y++ {
+				for x := 0; x < g.Ext[0]; x++ {
+					want := gval(
+						mod(origin[0]+x-ghost, global[0]),
+						mod(origin[1]+y-ghost, global[1]),
+						mod(origin[2]+z-ghost, global[2]))
+					if got := g.At(x, y, z); got != want {
+						t.Errorf("rank %d (%d,%d,%d): %v != %v", c.Rank(), x, y, z, got, want)
+						return
+					}
+				}
+			}
+		}
+	})
+}
+
+func mod(a, n int) int { return ((a % n) + n) % n }
+
+func TestPackExchange(t *testing.T)    { verifyGridExchange(t, "pack") }
+func TestOverlapExchange(t *testing.T) { verifyGridExchange(t, "overlap") }
+func TestTypesExchange(t *testing.T)   { verifyGridExchange(t, "types") }
+
+func TestPackExchangeMessageCount(t *testing.T) {
+	// One message per neighbor: 26 sends per rank.
+	w := mpi.NewWorld(8)
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{2, 2, 2}, []bool{true, true, true})
+		g := New([3]int{8, 8, 8}, 2)
+		e := NewPackExchanger(g, cart)
+		c.ResetCounters()
+		e.Exchange(nil)
+		if c.SentMessages != 26 {
+			t.Errorf("sent %d messages, want 26", c.SentMessages)
+		}
+	})
+}
+
+func TestSingleRankPeriodicGridExchange(t *testing.T) {
+	w := mpi.NewWorld(1)
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{1, 1, 1}, []bool{true, true, true})
+		g := New([3]int{8, 8, 8}, 2)
+		for z := 0; z < 8; z++ {
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					g.Set(x+2, y+2, z+2, gval(x, y, z))
+				}
+			}
+		}
+		NewPackExchanger(g, cart).Exchange(nil)
+		// Ghost at (-1) wraps to domain element 7.
+		if got, want := g.At(1, 2, 2), gval(7, 0, 0); got != want {
+			t.Errorf("wrap ghost = %v, want %v", got, want)
+		}
+	})
+}
+
+func TestPackTimingsAccounting(t *testing.T) {
+	w := mpi.NewWorld(8)
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{2, 2, 2}, []bool{true, true, true})
+		g := New([3]int{8, 8, 8}, 2)
+		e := NewPackExchanger(g, cart)
+		var tm PackTimings
+		e.Exchange(&tm)
+		if tm.Pack <= 0 {
+			t.Error("pack time not recorded")
+		}
+		if tm.Call <= 0 {
+			t.Error("call time not recorded")
+		}
+		if tm.Wait < 0 {
+			t.Error("negative wait")
+		}
+	})
+}
+
+func TestPackExchangerReusable(t *testing.T) {
+	// Begin/End cycles must be repeatable with stable results.
+	w := mpi.NewWorld(8)
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{2, 2, 2}, []bool{true, true, true})
+		g := New([3]int{8, 8, 8}, 2)
+		co := cart.MyCoords()
+		for z := 0; z < 8; z++ {
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					g.Set(x+2, y+2, z+2, gval(co[2]*8+x, co[1]*8+y, co[0]*8+z))
+				}
+			}
+		}
+		e := NewPackExchanger(g, cart)
+		e.Begin(nil)
+		e.End(nil)
+		snap := append([]float64(nil), g.Data...)
+		for i := 0; i < 3; i++ {
+			e.Begin(nil)
+			e.End(nil)
+		}
+		for i := range snap {
+			if g.Data[i] != snap[i] {
+				t.Fatalf("element %d changed across exchanges", i)
+			}
+		}
+	})
+}
+
+func TestTypesExchangerElemsAccumulate(t *testing.T) {
+	w := mpi.NewWorld(8)
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{2, 2, 2}, []bool{true, true, true})
+		g := New([3]int{8, 8, 8}, 2)
+		e := NewTypesExchanger(g, cart)
+		e.Exchange(nil)
+		first := e.Elems
+		e.Exchange(nil)
+		if e.Elems != 2*first || first <= 0 {
+			t.Errorf("engine elems: first %d, after second %d", first, e.Elems)
+		}
+	})
+}
+
+func TestSubarrayCountsMatchRegions(t *testing.T) {
+	g := New([3]int{8, 6, 4}, 2)
+	for _, s := range layout.Regions(3) {
+		lo, hi := g.SendRegion(s)
+		if got := g.Subarray(lo, hi).Count(); got != RegionCount(lo, hi) {
+			t.Errorf("region %v: subarray %d, count %d", s, got, RegionCount(lo, hi))
+		}
+	}
+}

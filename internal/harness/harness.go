@@ -1,0 +1,307 @@
+// Package harness runs the paper's experiments: a periodic Cartesian grid
+// of ranks, each owning one subdomain, stepping a stencil with one of the
+// evaluated exchange implementations and reporting the artifact's metrics —
+// per-timestep calc/pack/call/wait times as [min, avg, max] (σ) summaries,
+// overall GStencil/s throughput, and a deterministic modeled network time.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/gpu"
+	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/mpi"
+	"github.com/bricklab/brick/internal/netmodel"
+	"github.com/bricklab/brick/internal/stats"
+	"github.com/bricklab/brick/internal/stencil"
+)
+
+// Impl selects an exchange implementation.
+type Impl int
+
+// CPU implementations (K experiments) and GPU strategies (V experiments).
+const (
+	// YASK: lexicographic arrays with explicit pack/unpack, one message per
+	// neighbor, no overlap (the paper's YASK -no-overlap_comms baseline
+	// role).
+	YASK Impl = iota
+	// YASKOL: as YASK but overlapping communication with interior
+	// computation.
+	YASKOL
+	// MPITypes: lexicographic arrays exchanged with derived datatypes.
+	MPITypes
+	// Basic: bricks with a lexicographic block order, each region sent
+	// separately to each destination (98 messages in 3D).
+	Basic
+	// Layout: bricks with the optimized surface order (42 messages).
+	Layout
+	// MemMap: bricks with per-neighbor memory-mapped views (26 messages).
+	MemMap
+	// Shift: bricks exchanged dimension by dimension through mmap slab
+	// views — 6 messages in 3 serialized phases (paper Section 8 related
+	// work).
+	Shift
+	// LayoutOL: the Layout exchange overlapped with interior computation
+	// (post sends/receives, compute the interior bricks, wait, compute the
+	// surface bricks).
+	LayoutOL
+	// GPULayoutCA, GPULayoutUM, GPUMemMapUM, GPUTypesUM: the V1 strategies,
+	// reported in modeled time.
+	GPULayoutCA
+	GPULayoutUM
+	GPUMemMapUM
+	GPUTypesUM
+	// GPUStaged: whole-subdomain CPU staging around a packed exchange (the
+	// pre-CUDA-Aware manual data movement of the paper's introduction).
+	GPUStaged
+)
+
+func (im Impl) String() string {
+	switch im {
+	case YASK:
+		return "YASK"
+	case YASKOL:
+		return "YASK-OL"
+	case MPITypes:
+		return "MPI_Types"
+	case Basic:
+		return "Basic"
+	case Layout:
+		return "Layout"
+	case MemMap:
+		return "MemMap"
+	case Shift:
+		return "Shift"
+	case LayoutOL:
+		return "Layout-OL"
+	case GPULayoutCA:
+		return "LayoutCA"
+	case GPULayoutUM:
+		return "LayoutUM"
+	case GPUMemMapUM:
+		return "MemMapUM"
+	case GPUTypesUM:
+		return "MPI_TypesUM"
+	case GPUStaged:
+		return "Staged"
+	default:
+		return fmt.Sprintf("Impl(%d)", int(im))
+	}
+}
+
+// GPU reports whether the implementation is a V-experiment strategy whose
+// times are modeled rather than measured.
+func (im Impl) GPU() bool { return im >= GPULayoutCA }
+
+// Brick reports whether the implementation stores data in bricks.
+func (im Impl) Brick() bool {
+	switch im {
+	case Basic, Layout, MemMap, Shift, LayoutOL, GPULayoutCA, GPULayoutUM, GPUMemMapUM:
+		return true
+	}
+	return false
+}
+
+// Config describes one experiment run.
+type Config struct {
+	Impl    Impl
+	Procs   [3]int // rank grid (i,j,k); product = world size
+	Dom     [3]int // subdomain elements per rank
+	Ghost   int    // ghost width in elements
+	Shape   core.Shape
+	Stencil stencil.Stencil
+	Steps   int // timed timesteps
+	Warmup  int // untimed timesteps
+	Machine netmodel.Machine
+	// PageBytes overrides the page size used for MemMap padding (Fig. 18
+	// page-size sweep); 0 uses the machine's page size.
+	PageBytes int
+	// ExpandGhost amortizes exchanges over Ghost/Radius timesteps with
+	// redundant computation (ghost-cell expansion). Ignored for YASKOL.
+	ExpandGhost bool
+}
+
+func (c Config) ranks() int { return c.Procs[0] * c.Procs[1] * c.Procs[2] }
+
+func (c Config) pageBytes() int {
+	if c.PageBytes > 0 {
+		return c.PageBytes
+	}
+	return c.Machine.PageSize
+}
+
+// exchangePeriod returns how many timesteps one exchange covers.
+func (c Config) exchangePeriod() int {
+	if !c.ExpandGhost || c.Impl == YASKOL || c.Impl == LayoutOL {
+		return 1 // overlap requires fresh ghosts every step
+	}
+	return c.Ghost / c.Stencil.Radius
+}
+
+// Result aggregates the run's metrics across ranks and timesteps. All time
+// summaries are seconds per timestep.
+type Result struct {
+	Config Config
+
+	Calc stats.Summary // stencil computation (measured; modeled for GPU)
+	Pack stats.Summary // packing/unpacking copies (zero for pack-free impls)
+	Call stats.Summary // posting sends/receives
+	Wait stats.Summary // completion waits
+	Comm stats.Summary // Pack+Call+Wait per timestep
+
+	// Network is the deterministic modeled network time per timestep
+	// (per-message α + bytes/β over the machine profile); NetworkFloor is
+	// the same for the minimal one-message-per-neighbor plan — the paper's
+	// "Network" reference line.
+	Network      stats.Summary
+	NetworkFloor float64
+
+	// CommSynth is the synthetic communication time per timestep: measured
+	// on-node data movement (Pack) plus modeled network time. On hosts with
+	// fewer cores than ranks, measured call/wait absorbs co-scheduled
+	// ranks' work; CommSynth is the oversubscription-robust comparison
+	// metric (real copies + deterministic wire model).
+	CommSynth stats.Summary
+
+	// MsgsPerExchange is the number of messages each rank sends per
+	// exchange; DataBytes/WireBytes are per rank per exchange.
+	MsgsPerExchange int
+	DataBytes       int64
+	WireBytes       int64
+
+	// GStencils is throughput in 1e9 stencil updates per second over the
+	// global domain (paper's GStencil/s).
+	GStencils float64
+
+	// Modeled marks GPU results whose times come from the simulator.
+	Modeled bool
+
+	// Checksum is a global sum of the final field, for cross-implementation
+	// validation.
+	Checksum float64
+}
+
+// StepSeconds returns the average total time per timestep used for
+// throughput: measured computation plus CommSynth (measured on-node
+// movement + modeled wire time), which stays meaningful when ranks
+// oversubscribe the host's cores.
+func (r *Result) StepSeconds() float64 { return r.Calc.Mean() + r.CommSynth.Mean() }
+
+// Validate checks configuration consistency.
+func (c Config) Validate() error {
+	if c.ranks() <= 0 {
+		return fmt.Errorf("harness: bad rank grid %v", c.Procs)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("harness: steps must be positive")
+	}
+	if c.Stencil.Radius <= 0 {
+		return fmt.Errorf("harness: stencil radius must be positive")
+	}
+	if c.Ghost%c.Stencil.Radius != 0 && c.ExpandGhost {
+		return fmt.Errorf("harness: ghost %d not a multiple of radius %d", c.Ghost, c.Stencil.Radius)
+	}
+	return nil
+}
+
+// Run executes the experiment and returns aggregated metrics.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := cfg.ranks()
+	perRank := make([]Result, n)
+	errs := make([]error, n)
+	w := mpi.NewWorld(n)
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{cfg.Procs[2], cfg.Procs[1], cfg.Procs[0]}, []bool{true, true, true})
+		var r Result
+		var err error
+		if cfg.Impl.GPU() {
+			r, err = runGPURank(cfg, cart)
+		} else if cfg.Impl.Brick() {
+			r, err = runBrickRank(cfg, cart)
+		} else {
+			r, err = runGridRank(cfg, cart)
+		}
+		// Global checksum over ranks.
+		r.Checksum = c.Allreduce1(mpi.OpSum, r.Checksum)
+		perRank[c.Rank()] = r
+		errs[c.Rank()] = err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	out := perRank[0]
+	for _, r := range perRank[1:] {
+		out.Calc.Merge(r.Calc)
+		out.Pack.Merge(r.Pack)
+		out.Call.Merge(r.Call)
+		out.Wait.Merge(r.Wait)
+		out.Comm.Merge(r.Comm)
+		out.Network.Merge(r.Network)
+		out.CommSynth.Merge(r.CommSynth)
+	}
+	globalPoints := float64(cfg.Dom[0]*cfg.Procs[0]) * float64(cfg.Dom[1]*cfg.Procs[1]) * float64(cfg.Dom[2]*cfg.Procs[2])
+	if step := out.StepSeconds(); step > 0 {
+		out.GStencils = globalPoints / step / 1e9
+	}
+	return out, nil
+}
+
+// initValue seeds the domain deterministically and injectively by global
+// coordinates, so checksums are comparable across implementations.
+func initValue(gx, gy, gz int) float64 {
+	h := uint64(gx)*0x9E3779B97F4A7C15 ^ uint64(gy)*0xC2B2AE3D27D4EB4F ^ uint64(gz)*0x165667B19E3779F9
+	return float64(h%100000)/50000.0 - 1.0
+}
+
+// margins precomputes the ghost-expansion margin for each phase of the
+// exchange period.
+func margins(cfg Config) []int {
+	m := cfg.exchangePeriod()
+	if m == 1 {
+		return []int{0} // fresh ghosts every step: no redundant computation
+	}
+	out := make([]int, m)
+	for q := 0; q < m; q++ {
+		out[q] = cfg.Ghost - (q+1)*cfg.Stencil.Radius
+	}
+	return out
+}
+
+// modeledNetwork returns the per-exchange modeled network time for a message
+// plan given as (bytes per message) values.
+func modeledNetwork(mach netmodel.Machine, kind netmodel.LinkKind, sizes []int) time.Duration {
+	var total time.Duration
+	for _, n := range sizes {
+		total += mach.Cost(kind, n)
+	}
+	return total
+}
+
+// networkFloorGrid returns the minimal per-exchange network time for a grid
+// subdomain: one message per neighbor with exact region payloads.
+func networkFloorGrid(cfg Config) float64 {
+	g := tmpGrid(cfg)
+	var sizes []int
+	for _, s := range layout.Regions(3) {
+		lo, hi := g.SendRegion(s)
+		sizes = append(sizes, 8*regionCount(lo, hi))
+	}
+	return modeledNetwork(cfg.Machine, netmodel.Network, sizes).Seconds()
+}
+
+func regionCount(lo, hi [3]int) int {
+	return (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2])
+}
+
+// networkFloorBricks returns the minimal per-exchange network time for a
+// brick decomposition (unpadded payloads, one message per neighbor).
+func networkFloorBricks(cfg Config, dec *core.BrickDecomp) float64 {
+	return gpu.NetworkFloor(dec, cfg.Machine, netmodel.Network).Seconds()
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/netmodel"
+	"github.com/bricklab/brick/internal/stencil"
+)
+
+func baseConfig(im Impl) Config {
+	return Config{
+		Impl:    im,
+		Procs:   [3]int{2, 2, 2},
+		Dom:     [3]int{16, 16, 16},
+		Ghost:   4,
+		Shape:   core.Shape{4, 4, 4},
+		Stencil: stencil.Star7(),
+		Steps:   4,
+		Warmup:  1,
+		Machine: netmodel.ThetaKNL(),
+	}
+}
+
+var allImpls = []Impl{YASK, YASKOL, MPITypes, Basic, Layout, MemMap, Shift, LayoutOL,
+	GPULayoutCA, GPULayoutUM, GPUMemMapUM, GPUTypesUM, GPUStaged}
+
+func TestImplStrings(t *testing.T) {
+	want := map[Impl]string{
+		YASK: "YASK", YASKOL: "YASK-OL", MPITypes: "MPI_Types",
+		Basic: "Basic", Layout: "Layout", MemMap: "MemMap", Shift: "Shift", LayoutOL: "Layout-OL",
+		GPULayoutCA: "LayoutCA", GPULayoutUM: "LayoutUM",
+		GPUMemMapUM: "MemMapUM", GPUTypesUM: "MPI_TypesUM", GPUStaged: "Staged",
+		Impl(99): "Impl(99)",
+	}
+	for im, s := range want {
+		if im.String() != s {
+			t.Errorf("%d -> %q, want %q", int(im), im.String(), s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := baseConfig(Layout)
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := cfg
+	bad.Steps = 0
+	if bad.Validate() == nil {
+		t.Error("zero steps accepted")
+	}
+	bad = cfg
+	bad.Procs = [3]int{0, 1, 1}
+	if bad.Validate() == nil {
+		t.Error("zero procs accepted")
+	}
+	bad = cfg
+	bad.Ghost = 3
+	bad.ExpandGhost = true
+	bad.Stencil = stencil.Cube125() // radius 2 does not divide 3
+	if bad.Validate() == nil {
+		t.Error("non-divisible ghost accepted with expansion")
+	}
+}
+
+func TestAllImplementationsAgree(t *testing.T) {
+	var ref float64
+	for i, im := range allImpls {
+		res, err := Run(baseConfig(im))
+		if err != nil {
+			t.Fatalf("%v: %v", im, err)
+		}
+		if i == 0 {
+			ref = res.Checksum
+			if math.Abs(ref) < 1e-9 {
+				t.Fatalf("degenerate checksum %v", ref)
+			}
+			continue
+		}
+		if math.Abs(res.Checksum-ref) > 1e-6*math.Abs(ref) {
+			t.Errorf("%v checksum %v differs from reference %v", im, res.Checksum, ref)
+		}
+	}
+}
+
+func TestGhostExpansionAgrees(t *testing.T) {
+	// Ghost-cell expansion must not change the final field.
+	for _, im := range []Impl{YASK, MPITypes, Layout, MemMap, Shift, GPULayoutCA} {
+		plain := baseConfig(im)
+		expanded := plain
+		expanded.ExpandGhost = true
+		a, err := Run(plain)
+		if err != nil {
+			t.Fatalf("%v plain: %v", im, err)
+		}
+		b, err := Run(expanded)
+		if err != nil {
+			t.Fatalf("%v expanded: %v", im, err)
+		}
+		if math.Abs(a.Checksum-b.Checksum) > 1e-6*math.Abs(a.Checksum) {
+			t.Errorf("%v: expansion changed checksum %v -> %v", im, a.Checksum, b.Checksum)
+		}
+	}
+}
+
+func TestCube125Agrees(t *testing.T) {
+	var ref float64
+	for i, im := range []Impl{YASK, Layout, MemMap} {
+		cfg := baseConfig(im)
+		cfg.Stencil = stencil.Cube125()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", im, err)
+		}
+		if i == 0 {
+			ref = res.Checksum
+		} else if math.Abs(res.Checksum-ref) > 1e-6*math.Abs(ref) {
+			t.Errorf("%v checksum %v != %v", im, res.Checksum, ref)
+		}
+	}
+}
+
+func TestMessageCountsPerImpl(t *testing.T) {
+	// dom 12³ (s=3, g=1): all regions non-empty.
+	want := map[Impl]int{
+		YASK: 26, MPITypes: 26, Basic: 98, Layout: 42, MemMap: 26, Shift: 6,
+		GPULayoutCA: 42, GPUMemMapUM: 26, GPUTypesUM: 26,
+	}
+	for im, msgs := range want {
+		cfg := baseConfig(im)
+		cfg.Dom = [3]int{12, 12, 12}
+		cfg.Steps = 2
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", im, err)
+		}
+		if res.MsgsPerExchange != msgs {
+			t.Errorf("%v: %d messages per exchange, want %d", im, res.MsgsPerExchange, msgs)
+		}
+	}
+}
+
+func TestMetricsPopulated(t *testing.T) {
+	res, err := Run(baseConfig(Layout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calc.N() != 8*4 { // 8 ranks × 4 timed steps
+		t.Errorf("calc samples = %d", res.Calc.N())
+	}
+	if res.Calc.Mean() <= 0 {
+		t.Error("calc time not positive")
+	}
+	if res.GStencils <= 0 {
+		t.Error("throughput not positive")
+	}
+	if res.NetworkFloor <= 0 {
+		t.Error("network floor missing")
+	}
+	if res.Network.Mean() < res.NetworkFloor {
+		t.Errorf("modeled network %v below floor %v", res.Network.Mean(), res.NetworkFloor)
+	}
+	if res.DataBytes <= 0 || res.WireBytes < res.DataBytes {
+		t.Errorf("bytes: data %d wire %d", res.DataBytes, res.WireBytes)
+	}
+	if res.Modeled {
+		t.Error("CPU impl marked modeled")
+	}
+}
+
+func TestPackFreeImplsReportZeroPack(t *testing.T) {
+	for _, im := range []Impl{Basic, Layout, MemMap, Shift, LayoutOL} {
+		res, err := Run(baseConfig(im))
+		if err != nil {
+			t.Fatalf("%v: %v", im, err)
+		}
+		if res.Pack.Max() != 0 {
+			t.Errorf("%v: pack time %v, want 0 (pack-free)", im, res.Pack.Max())
+		}
+	}
+	// Packing impls must report non-zero pack time.
+	for _, im := range []Impl{YASK, MPITypes} {
+		res, err := Run(baseConfig(im))
+		if err != nil {
+			t.Fatalf("%v: %v", im, err)
+		}
+		if res.Pack.Mean() <= 0 {
+			t.Errorf("%v: pack time is zero", im)
+		}
+	}
+}
+
+func TestGPUResultsModeled(t *testing.T) {
+	res, err := Run(baseConfig(GPUMemMapUM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Modeled {
+		t.Error("GPU result not marked modeled")
+	}
+	if res.Comm.Mean() <= 0 || res.Calc.Mean() <= 0 {
+		t.Error("modeled times missing")
+	}
+}
+
+func TestPageBytesOverride(t *testing.T) {
+	// Fig 18: larger synthetic pages → more wire bytes for MemMap.
+	small := baseConfig(MemMap)
+	small.PageBytes = 4096
+	big := baseConfig(MemMap)
+	big.PageBytes = 16384
+	a, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.WireBytes <= a.WireBytes {
+		t.Errorf("16KiB pages wire %d not larger than 4KiB %d", b.WireBytes, a.WireBytes)
+	}
+	if a.Checksum != b.Checksum {
+		t.Error("page size changed results")
+	}
+}
+
+func TestSingleRankRun(t *testing.T) {
+	cfg := baseConfig(Layout)
+	cfg.Procs = [3]int{1, 1, 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GStencils <= 0 {
+		t.Error("no throughput")
+	}
+}

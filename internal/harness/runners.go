@@ -1,0 +1,434 @@
+package harness
+
+import (
+	"time"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/gpu"
+	"github.com/bricklab/brick/internal/grid"
+	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/mpi"
+	"github.com/bricklab/brick/internal/netmodel"
+	"github.com/bricklab/brick/internal/stencil"
+)
+
+// rankOrigin returns the global element origin of this rank's subdomain.
+func rankOrigin(cfg Config, cart *mpi.Cart) [3]int {
+	co := cart.MyCoords() // (k, j, i)
+	return [3]int{co[2] * cfg.Dom[0], co[1] * cfg.Dom[1], co[0] * cfg.Dom[2]}
+}
+
+func tmpGrid(cfg Config) *grid.Grid { return grid.New(cfg.Dom, cfg.Ghost) }
+
+// runBrickRank executes the Basic/Layout/MemMap implementations.
+func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
+	res := Result{Config: cfg}
+	order := layout.Surface3D()
+	if cfg.Impl == Basic {
+		order = layout.Lexicographic(3)
+	}
+	var opts []core.Option
+	switch cfg.Impl {
+	case MemMap, Shift:
+		opts = append(opts, core.WithPageAlignment(cfg.pageBytes()))
+	case Basic:
+		opts = append(opts, core.WithPerRegionMessages())
+	}
+	dec, err := core.NewBrickDecomp(cfg.Shape, cfg.Dom, cfg.Ghost, 2, order, opts...)
+	if err != nil {
+		return res, err
+	}
+	var bs *core.BrickStorage
+	if cfg.Impl == MemMap || cfg.Impl == Shift {
+		if bs, err = dec.MmapAllocate(); err != nil {
+			return res, err
+		}
+		defer bs.Close()
+	} else {
+		bs = dec.Allocate()
+	}
+	info := dec.BrickInfo()
+	ex := core.NewExchanger(dec, cart)
+	var ev *core.ExchangeView
+	if cfg.Impl == MemMap {
+		if ev, err = core.NewExchangeView(ex, bs); err != nil {
+			return res, err
+		}
+		defer ev.Close()
+	}
+	var sv *core.ShiftView
+	if cfg.Impl == Shift {
+		if sv, err = core.NewShiftView(ex, bs); err != nil {
+			return res, err
+		}
+		defer sv.Close()
+	}
+
+	org := rankOrigin(cfg, cart)
+	for z := 0; z < cfg.Dom[2]; z++ {
+		for y := 0; y < cfg.Dom[1]; y++ {
+			for x := 0; x < cfg.Dom[0]; x++ {
+				dec.SetElem(bs, 0, x+cfg.Ghost, y+cfg.Ghost, z+cfg.Ghost,
+					initValue(org[0]+x, org[1]+y, org[2]+z))
+			}
+		}
+	}
+
+	// Message plan metrics + modeled network time per exchange.
+	chunkBytes := 8 * bs.Chunk()
+	var sizes []int
+	switch {
+	case cfg.Impl == Shift:
+		// Six slab transfers: the ±axis slabs, forwarded corners included.
+		for axis := 0; axis < 3; axis++ {
+			ext := dec.GridDim()
+			g := dec.Ghost() / dec.Shape()[axis]
+			n := g * chunkBytes
+			for a := 0; a < 3; a++ {
+				if a == axis {
+					continue
+				}
+				if a < axis {
+					n *= ext[a]
+				} else {
+					n *= ext[a] - 2*g
+				}
+			}
+			sizes = append(sizes, n, n)
+		}
+	case cfg.Impl == MemMap:
+		perDir := map[layout.Set]int{}
+		for _, m := range dec.SendMessages() {
+			perDir[m.Dir] += m.Span.Padded * chunkBytes
+		}
+		for _, n := range perDir {
+			sizes = append(sizes, n)
+		}
+	default:
+		for _, m := range dec.SendMessages() {
+			sizes = append(sizes, m.Span.Padded*chunkBytes)
+		}
+	}
+	res.MsgsPerExchange = len(sizes)
+	data, wire := dec.ExchangeBytes()
+	res.DataBytes, res.WireBytes = int64(data), int64(wire)
+	res.NetworkFloor = networkFloorBricks(cfg, dec)
+	netPerExchange := modeledNetwork(cfg.Machine, netmodel.Network, sizes).Seconds()
+
+	period := cfg.exchangePeriod()
+	marg := margins(cfg)
+	cur := 0
+	comm := cart.Comm()
+	step := func(s int, timed bool) {
+		comm.Barrier()
+		var call, wait, calc time.Duration
+		if cfg.Impl == LayoutOL {
+			// Overlap: post the exchange, compute interior bricks while it
+			// is in flight, wait, then compute the surface bricks.
+			src := core.NewBrick(info, bs, cur)
+			dst := core.NewBrick(info, bs, 1-cur)
+			t0 := time.Now()
+			ex.PostReceives(bs)
+			ex.PostSends(bs)
+			call = time.Since(t0)
+			t0 = time.Now()
+			inter := dec.Interior()
+			stencil.ApplyBricksRange(dst, src, dec, cfg.Stencil, 0, inter.Start, inter.End())
+			calc = time.Since(t0)
+			t0 = time.Now()
+			ex.Wait()
+			wait = time.Since(t0)
+			t0 = time.Now()
+			for _, reg := range dec.Order() {
+				sp := dec.Surface(reg)
+				if sp.NBricks > 0 {
+					stencil.ApplyBricksRange(dst, src, dec, cfg.Stencil, 0, sp.Start, sp.End())
+				}
+			}
+			cur = 1 - cur
+			calc += time.Since(t0)
+			if timed {
+				res.Calc.AddDuration(calc)
+				res.Pack.Add(0)
+				res.Call.AddDuration(call)
+				res.Wait.AddDuration(wait)
+				res.Comm.AddDuration(call + wait)
+				res.Network.Add(netPerExchange)
+				res.CommSynth.Add(netPerExchange)
+			}
+			return
+		}
+		if s%period == 0 {
+			t0 := time.Now()
+			switch {
+			case cfg.Impl == MemMap:
+				ev.Exchange()
+			case cfg.Impl == Shift:
+				sv.Exchange()
+			default:
+				ex.PostReceives(bs)
+				ex.PostSends(bs)
+				call = time.Since(t0)
+				t0 = time.Now()
+				ex.Wait()
+				wait = time.Since(t0)
+			}
+			if cfg.Impl == MemMap || cfg.Impl == Shift {
+				// These exchanges post and wait internally; report the
+				// whole duration as wait.
+				wait = time.Since(t0)
+			}
+		}
+		comm.Barrier() // isolate the exchange phase from computation
+		t0 := time.Now()
+		src := core.NewBrick(info, bs, cur)
+		dst := core.NewBrick(info, bs, 1-cur)
+		stencil.ApplyBricks(dst, src, dec, cfg.Stencil, marg[s%period])
+		cur = 1 - cur
+		calc = time.Since(t0)
+		if timed {
+			res.Calc.AddDuration(calc)
+			res.Pack.Add(0)
+			res.Call.AddDuration(call)
+			res.Wait.AddDuration(wait)
+			res.Comm.AddDuration(call + wait)
+			net := 0.0
+			if s%period == 0 {
+				net = netPerExchange
+			}
+			res.Network.Add(net)
+			res.CommSynth.Add(net) // pack-free: no on-node movement
+		}
+	}
+	for s := 0; s < cfg.Warmup; s++ {
+		step(s, false)
+	}
+	for s := 0; s < cfg.Steps; s++ {
+		step(s, true)
+	}
+	res.Checksum = checksumBricks(dec, bs, cur, cfg)
+	return res, nil
+}
+
+// runGridRank executes the YASK/YASK-OL/MPI_Types implementations.
+func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
+	res := Result{Config: cfg}
+	gs := [2]*grid.Grid{tmpGrid(cfg), tmpGrid(cfg)}
+	org := rankOrigin(cfg, cart)
+	for z := 0; z < cfg.Dom[2]; z++ {
+		for y := 0; y < cfg.Dom[1]; y++ {
+			for x := 0; x < cfg.Dom[0]; x++ {
+				gs[0].Set(x+cfg.Ghost, y+cfg.Ghost, z+cfg.Ghost,
+					initValue(org[0]+x, org[1]+y, org[2]+z))
+			}
+		}
+	}
+	var packEx [2]*grid.PackExchanger
+	var typeEx [2]*grid.TypesExchanger
+	var sizes []int
+	var engineElems int
+	for _, s := range layout.Regions(3) {
+		lo, hi := gs[0].SendRegion(s)
+		sizes = append(sizes, 8*regionCount(lo, hi))
+		engineElems += 2 * regionCount(lo, hi)
+	}
+	switch cfg.Impl {
+	case MPITypes:
+		typeEx[0] = grid.NewTypesExchanger(gs[0], cart)
+		typeEx[1] = grid.NewTypesExchanger(gs[1], cart)
+	default:
+		packEx[0] = grid.NewPackExchanger(gs[0], cart)
+		packEx[1] = grid.NewPackExchanger(gs[1], cart)
+	}
+	res.MsgsPerExchange = len(sizes)
+	for _, n := range sizes {
+		res.DataBytes += int64(n)
+	}
+	res.WireBytes = res.DataBytes
+	res.NetworkFloor = networkFloorGrid(cfg)
+	netPerExchange := modeledNetwork(cfg.Machine, netmodel.Network, sizes).Seconds()
+	_ = engineElems // the datatype engine's walk is real, measured as Pack
+
+	period := cfg.exchangePeriod()
+	marg := margins(cfg)
+	cur := 0
+	comm := cart.Comm()
+	r := cfg.Stencil.Radius
+	step := func(s int, timed bool) {
+		comm.Barrier()
+		var tm grid.PackTimings
+		var calc time.Duration
+		exchange := s%period == 0
+		switch {
+		case cfg.Impl == YASKOL:
+			if exchange {
+				packEx[cur].Begin(&tm)
+			}
+			// Interior (ghost-independent) computation overlaps the wait.
+			t0 := time.Now()
+			var lo, hi [3]int
+			for a := 0; a < 3; a++ {
+				lo[a], hi[a] = cfg.Ghost+r, cfg.Ghost+cfg.Dom[a]-r
+			}
+			stencil.ApplyGridRegion(gs[1-cur], gs[cur], cfg.Stencil, lo, hi)
+			calc = time.Since(t0)
+			if exchange {
+				packEx[cur].End(&tm)
+			}
+			t0 = time.Now()
+			stencil.ApplyGridShell(gs[1-cur], gs[cur], cfg.Stencil, 0, lo, hi)
+			calc += time.Since(t0)
+		default:
+			if exchange {
+				if cfg.Impl == MPITypes {
+					typeEx[cur].Exchange(&tm)
+				} else {
+					packEx[cur].Exchange(&tm)
+				}
+			}
+			comm.Barrier() // isolate the exchange phase from computation
+			t0 := time.Now()
+			stencil.ApplyGrid(gs[1-cur], gs[cur], cfg.Stencil, marg[s%period])
+			calc = time.Since(t0)
+		}
+		cur = 1 - cur
+		if timed {
+			res.Calc.AddDuration(calc)
+			res.Pack.AddDuration(tm.Pack)
+			res.Call.AddDuration(tm.Call)
+			res.Wait.AddDuration(tm.Wait)
+			res.Comm.AddDuration(tm.Pack + tm.Call + tm.Wait)
+			net := 0.0
+			if exchange {
+				net = netPerExchange
+			}
+			res.Network.Add(net)
+			res.CommSynth.Add(tm.Pack.Seconds() + net)
+		}
+	}
+	for s := 0; s < cfg.Warmup; s++ {
+		step(s, false)
+	}
+	for s := 0; s < cfg.Steps; s++ {
+		step(s, true)
+	}
+	res.Checksum = checksumGrid(gs[cur], cfg)
+	return res, nil
+}
+
+// runGPURank executes the V-experiment strategies with modeled timing.
+func runGPURank(cfg Config, cart *mpi.Cart) (Result, error) {
+	res := Result{Config: cfg, Modeled: true}
+	var strat gpu.Strategy
+	switch cfg.Impl {
+	case GPULayoutCA:
+		strat = gpu.LayoutCA
+	case GPULayoutUM:
+		strat = gpu.LayoutUM
+	case GPUMemMapUM:
+		strat = gpu.MemMapUM
+	case GPUTypesUM:
+		strat = gpu.TypesUM
+	case GPUStaged:
+		strat = gpu.StagedArray
+	}
+	spec := gpu.V100()
+	if cfg.PageBytes > 0 {
+		spec.PageSize = cfg.PageBytes
+	} else if cfg.Machine.PageSize > 0 {
+		spec.PageSize = cfg.Machine.PageSize
+	}
+	sim, err := gpu.NewSim(cart, gpu.Config{
+		Strategy: strat,
+		Dom:      cfg.Dom,
+		Ghost:    cfg.Ghost,
+		Shape:    cfg.Shape,
+		Order:    layout.Surface3D(),
+		Machine:  cfg.Machine,
+		Spec:     spec,
+		Stencil:  cfg.Stencil,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer sim.Close()
+	org := rankOrigin(cfg, cart)
+	sim.Init(func(x, y, z int) float64 {
+		return initValue(org[0]+x, org[1]+y, org[2]+z)
+	})
+
+	period := cfg.exchangePeriod()
+	marg := margins(cfg)
+	comm := cart.Comm()
+	step := func(s int, timed bool) {
+		comm.Barrier()
+		var cc gpu.CommCost
+		if s%period == 0 {
+			cc = sim.Exchange()
+		}
+		calc := sim.Compute(marg[s%period])
+		if timed {
+			res.Calc.AddDuration(calc)
+			res.Pack.AddDuration(cc.Fault + cc.Engine)
+			res.Call.Add(0)
+			res.Wait.AddDuration(cc.Link)
+			res.Comm.AddDuration(cc.Total())
+			res.CommSynth.AddDuration(cc.Total())
+			res.Network.AddDuration(cc.Link)
+			if s%period == 0 && res.MsgsPerExchange == 0 {
+				res.MsgsPerExchange = cc.Msgs
+				res.DataBytes = cc.Data
+				res.WireBytes = cc.Wire
+			}
+		}
+	}
+	for s := 0; s < cfg.Warmup; s++ {
+		step(s, false)
+	}
+	for s := 0; s < cfg.Steps; s++ {
+		step(s, true)
+	}
+	// Floor: minimal per-neighbor plan over GPUDirect (NetworkCA line).
+	dec, err := core.NewBrickDecomp(cfg.Shape, cfg.Dom, cfg.Ghost, 2, layout.Surface3D())
+	if err == nil {
+		res.NetworkFloor = gpu.NetworkFloor(dec, cfg.Machine, netmodel.GPUDirect).Seconds()
+	}
+	res.Checksum = checksumSim(sim, cfg)
+	return res, nil
+}
+
+func checksumGrid(g *grid.Grid, cfg Config) float64 {
+	sum := 0.0
+	for z := 0; z < cfg.Dom[2]; z++ {
+		for y := 0; y < cfg.Dom[1]; y++ {
+			for x := 0; x < cfg.Dom[0]; x++ {
+				sum += g.At(x+cfg.Ghost, y+cfg.Ghost, z+cfg.Ghost)
+			}
+		}
+	}
+	return sum
+}
+
+func checksumBricks(dec *core.BrickDecomp, bs *core.BrickStorage, field int, cfg Config) float64 {
+	sum := 0.0
+	for z := 0; z < cfg.Dom[2]; z++ {
+		for y := 0; y < cfg.Dom[1]; y++ {
+			for x := 0; x < cfg.Dom[0]; x++ {
+				sum += dec.Elem(bs, field, x+cfg.Ghost, y+cfg.Ghost, z+cfg.Ghost)
+			}
+		}
+	}
+	return sum
+}
+
+func checksumSim(sim *gpu.Sim, cfg Config) float64 {
+	sum := 0.0
+	for z := 0; z < cfg.Dom[2]; z++ {
+		for y := 0; y < cfg.Dom[1]; y++ {
+			for x := 0; x < cfg.Dom[0]; x++ {
+				sum += sim.Elem(x+cfg.Ghost, y+cfg.Ghost, z+cfg.Ghost)
+			}
+		}
+	}
+	return sum
+}

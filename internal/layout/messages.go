@@ -1,0 +1,114 @@
+package layout
+
+import "fmt"
+
+// MessageCount returns the number of point-to-point messages a ghost-zone
+// exchange needs when the surface regions are stored in the given physical
+// order. For each neighbor N(S), the regions destined to it ({T : S ⊆ T})
+// form some number of maximal consecutive runs in the order; each run is one
+// message. The total over all neighbors is the message count.
+//
+// Equivalently (see DESIGN.md): count = Σ_T (2^|T|-1) − Σ_consecutive(U,T)
+// (2^|T∩U|-1), which is how this function computes it in O(n) time.
+func MessageCount(order []Set) int {
+	if len(order) == 0 {
+		return 0
+	}
+	count := pow2(order[0].Weight()) - 1
+	for i := 1; i < len(order); i++ {
+		t := order[i]
+		count += pow2(t.Weight()) - 1
+		count -= pow2(t.Intersect(order[i-1]).Weight()) - 1
+	}
+	return count
+}
+
+// Messages lists, for every neighbor, the maximal runs of consecutive
+// regions in order that are destined to that neighbor. Each run becomes one
+// message containing the regions order[Start:Start+Len].
+type Message struct {
+	To    Set // destination neighbor
+	Start int // index of the first region of the run in the order
+	Len   int // number of consecutive regions in the run
+}
+
+// GroupMessages decomposes an ordering into per-neighbor message runs. The
+// result is sorted by destination then start index, and its length equals
+// MessageCount(order).
+func GroupMessages(d int, order []Set) []Message {
+	var msgs []Message
+	for _, nb := range Regions(d) {
+		run := -1
+		for i, t := range order {
+			if nb.SubsetOf(t) {
+				if run < 0 {
+					run = i
+				}
+				continue
+			}
+			if run >= 0 {
+				msgs = append(msgs, Message{To: nb, Start: run, Len: i - run})
+				run = -1
+			}
+		}
+		if run >= 0 {
+			msgs = append(msgs, Message{To: nb, Start: run, Len: len(order) - run})
+		}
+	}
+	return msgs
+}
+
+// ValidateOrder checks that order is a permutation of Regions(d).
+func ValidateOrder(d int, order []Set) error {
+	want := Regions(d)
+	if len(order) != len(want) {
+		return fmt.Errorf("layout: order has %d regions, want %d for %dD", len(order), len(want), d)
+	}
+	seen := make(map[Set]bool, len(order))
+	for _, t := range order {
+		if !t.Valid() || t.Empty() {
+			return fmt.Errorf("layout: %v is not a surface region", t)
+		}
+		if t >= 1<<(2*uint(d)) {
+			return fmt.Errorf("layout: region %v uses an axis beyond dimension %d", t, d)
+		}
+		if seen[t] {
+			return fmt.Errorf("layout: region %v repeated", t)
+		}
+		seen[t] = true
+	}
+	return nil
+}
+
+// NumNeighbors returns 3^D−1, the paper's Eq. 2: the number of neighbors of
+// a D-dimensional subdomain (including diagonals), which is also the minimum
+// conceivable number of messages and the count achieved by packing and by
+// MemMap.
+func NumNeighbors(d int) int { return pow(3, d) - 1 }
+
+// OptimalMessages returns the paper's Eq. 1: the provably minimal number of
+// messages achievable by layout optimization alone,
+// 5^D/3 + (−1)^D/6 + 1/2, computed exactly in integers.
+func OptimalMessages(d int) int {
+	sign := 1
+	if d%2 == 1 {
+		sign = -1
+	}
+	return (2*pow(5, d) + sign + 3) / 6
+}
+
+// BasicMessages returns the paper's Eq. 3: 5^D−3^D, the number of messages
+// when each region is sent independently to each of its destinations (the
+// Basic approach, an upper bound for any layout that keeps each region
+// contiguous).
+func BasicMessages(d int) int { return pow(5, d) - pow(3, d) }
+
+func pow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+	}
+	return r
+}
+
+func pow2(exp int) int { return 1 << uint(exp) }

@@ -1,0 +1,165 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bruteMessageCount counts messages directly as runs per neighbor, the
+// definition from the paper, to cross-check the incremental formula.
+func bruteMessageCount(d int, order []Set) int {
+	count := 0
+	for _, nb := range Regions(d) {
+		inRun := false
+		for _, t := range order {
+			if nb.SubsetOf(t) {
+				if !inRun {
+					count++
+					inRun = true
+				}
+			} else {
+				inRun = false
+			}
+		}
+	}
+	return count
+}
+
+func TestMessageCountMatchesBrute(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		order := Regions(d)
+		if got, want := MessageCount(order), bruteMessageCount(d, order); got != want {
+			t.Errorf("D=%d lex: MessageCount=%d brute=%d", d, got, want)
+		}
+		opt := Surface(d)
+		if got, want := MessageCount(opt), bruteMessageCount(d, opt); got != want {
+			t.Errorf("D=%d surface: MessageCount=%d brute=%d", d, got, want)
+		}
+	}
+}
+
+func TestMessageCountRandomPermutations(t *testing.T) {
+	// Property: for random permutations of the 3D regions, the incremental
+	// count equals the brute-force run count.
+	base := Regions(3)
+	r := newRNG(7)
+	f := func() bool {
+		order := append([]Set(nil), base...)
+		shuffle(order, r)
+		return MessageCount(order) == bruteMessageCount(3, order)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(uint8) bool { return f() }, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageCountEmpty(t *testing.T) {
+	if MessageCount(nil) != 0 {
+		t.Error("MessageCount(nil) != 0")
+	}
+}
+
+func TestClosedForms(t *testing.T) {
+	// Table 1 of the paper.
+	wantNeighbors := []int{2, 8, 26, 80, 242}
+	wantOptimal := []int{2, 9, 42, 209, 1042}
+	wantBasic := []int{2, 16, 98, 544, 2882}
+	for d := 1; d <= 5; d++ {
+		if got := NumNeighbors(d); got != wantNeighbors[d-1] {
+			t.Errorf("NumNeighbors(%d) = %d, want %d", d, got, wantNeighbors[d-1])
+		}
+		if got := OptimalMessages(d); got != wantOptimal[d-1] {
+			t.Errorf("OptimalMessages(%d) = %d, want %d", d, got, wantOptimal[d-1])
+		}
+		if got := BasicMessages(d); got != wantBasic[d-1] {
+			t.Errorf("BasicMessages(%d) = %d, want %d", d, got, wantBasic[d-1])
+		}
+	}
+}
+
+func TestBasicEqualsSumOverRegions(t *testing.T) {
+	// Eq. 3 equals Σ_T (2^|T|-1): each region sent separately to each of its
+	// destinations.
+	for d := 1; d <= 5; d++ {
+		sum := 0
+		for _, tr := range Regions(d) {
+			sum += pow2(tr.Weight()) - 1
+		}
+		if sum != BasicMessages(d) {
+			t.Errorf("D=%d: Σ(2^|T|-1)=%d, BasicMessages=%d", d, sum, BasicMessages(d))
+		}
+	}
+}
+
+func TestGroupMessages3D(t *testing.T) {
+	order := Surface3D()
+	msgs := GroupMessages(3, order)
+	if len(msgs) != 42 {
+		t.Fatalf("Surface3D groups into %d messages, want 42", len(msgs))
+	}
+	// Every (neighbor, region) incidence pair must be covered exactly once.
+	covered := map[[2]Set]int{}
+	for _, m := range msgs {
+		if m.Len <= 0 || m.Start < 0 || m.Start+m.Len > len(order) {
+			t.Fatalf("bad message %+v", m)
+		}
+		for _, tr := range order[m.Start : m.Start+m.Len] {
+			covered[[2]Set{m.To, tr}]++
+			if !m.To.SubsetOf(tr) {
+				t.Errorf("message to %v contains region %v not destined to it", m.To, tr)
+			}
+		}
+	}
+	for _, tr := range Regions(3) {
+		for _, nb := range NeighborsOf(tr) {
+			if covered[[2]Set{nb, tr}] != 1 {
+				t.Errorf("pair (nb=%v, region=%v) covered %d times", nb, tr, covered[[2]Set{nb, tr}])
+			}
+		}
+	}
+}
+
+func TestGroupMessagesLenMatchesCount(t *testing.T) {
+	r := newRNG(13)
+	for d := 1; d <= 3; d++ {
+		for trial := 0; trial < 20; trial++ {
+			order := append([]Set(nil), Regions(d)...)
+			shuffle(order, r)
+			if got, want := len(GroupMessages(d, order)), MessageCount(order); got != want {
+				t.Errorf("D=%d: GroupMessages len=%d, MessageCount=%d", d, got, want)
+			}
+		}
+	}
+}
+
+func TestValidateOrder(t *testing.T) {
+	if err := ValidateOrder(3, Surface3D()); err != nil {
+		t.Errorf("Surface3D invalid: %v", err)
+	}
+	if err := ValidateOrder(2, Surface2D()); err != nil {
+		t.Errorf("Surface2D invalid: %v", err)
+	}
+	// Wrong count.
+	if err := ValidateOrder(3, Surface2D()); err == nil {
+		t.Error("2D order accepted as 3D")
+	}
+	// Duplicate.
+	dup := append([]Set(nil), Surface2D()...)
+	dup[1] = dup[0]
+	if err := ValidateOrder(2, dup); err == nil {
+		t.Error("duplicate region accepted")
+	}
+	// Empty region.
+	bad := append([]Set(nil), Surface2D()...)
+	bad[0] = 0
+	if err := ValidateOrder(2, bad); err == nil {
+		t.Error("empty region accepted")
+	}
+	// Region beyond dimension.
+	far := append([]Set(nil), Surface2D()...)
+	far[0] = FromDirs(3)
+	if err := ValidateOrder(2, far); err == nil {
+		t.Error("out-of-dimension region accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package layout
+
+import "testing"
+
+func TestSurfaceConstantsAreOptimal(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		order := Surface(d)
+		if err := ValidateOrder(d, order); err != nil {
+			t.Fatalf("Surface(%d): %v", d, err)
+		}
+		if got, want := MessageCount(order), OptimalMessages(d); got != want {
+			t.Errorf("Surface(%d) needs %d messages, want Eq.1 optimum %d", d, got, want)
+		}
+	}
+}
+
+func TestOptimizeReachesOptimum(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		order := Optimize(d)
+		if err := ValidateOrder(d, order); err != nil {
+			t.Fatalf("Optimize(%d): %v", d, err)
+		}
+		if got, want := MessageCount(order), OptimalMessages(d); got != want {
+			t.Errorf("Optimize(%d) = %d messages, want %d", d, got, want)
+		}
+	}
+}
+
+func TestOptimize4D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4D search in -short mode")
+	}
+	order := Optimizer{Seed: 3, Restarts: 8}.Optimize(4)
+	if err := ValidateOrder(4, order); err != nil {
+		t.Fatal(err)
+	}
+	got := MessageCount(order)
+	// The search is heuristic in 4D; require it to land well below Basic
+	// and within 15% of the Eq. 1 optimum (209).
+	if got > OptimalMessages(4)*115/100 {
+		t.Errorf("Optimize(4) = %d messages, want ≤ %d", got, OptimalMessages(4)*115/100)
+	}
+}
+
+func TestExhaustiveMatchesEq1For2D(t *testing.T) {
+	// The 2D exhaustive search proves the Eq. 1 bound is tight for D=2.
+	best := exhaustive(Regions(2))
+	if got := MessageCount(best); got != 9 {
+		t.Errorf("2D exhaustive optimum = %d, want 9", got)
+	}
+}
+
+func TestLexicographicIsWorseThanOptimal(t *testing.T) {
+	for d := 2; d <= 3; d++ {
+		lex := MessageCount(Lexicographic(d))
+		opt := MessageCount(Surface(d))
+		if lex <= opt {
+			t.Errorf("D=%d: lexicographic (%d) should need more messages than optimal (%d)", d, lex, opt)
+		}
+		if lex > BasicMessages(d) {
+			t.Errorf("D=%d: lexicographic (%d) exceeds Basic bound (%d)", d, lex, BasicMessages(d))
+		}
+	}
+}
+
+func TestGreedyPathValid(t *testing.T) {
+	regs := Regions(3)
+	for start := 0; start < 3; start++ {
+		order := greedyPath(regs, start)
+		if err := ValidateOrder(3, order); err != nil {
+			t.Fatalf("greedyPath(start=%d): %v", start, err)
+		}
+	}
+}
+
+func TestSavingSymmetric(t *testing.T) {
+	regs := Regions(3)
+	for _, u := range regs {
+		for _, v := range regs {
+			if saving(u, v) != saving(v, u) {
+				t.Fatalf("saving(%v,%v) asymmetric", u, v)
+			}
+		}
+	}
+	// saving(T,T) = 2^|T|-1 (degenerate; never used on distinct regions).
+	if saving(FromDirs(1, 2), FromDirs(1, 2)) != 3 {
+		t.Error("self-saving wrong")
+	}
+}
+
+func TestOrOptMove(t *testing.T) {
+	order := []Set{1, 2, 4, 8, 16}
+	got := orOptMove(order, 1, 2, 0) // move [2,4] to front
+	want := []Set{2, 4, 1, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("orOptMove = %v, want %v", got, want)
+		}
+	}
+	// Insertion index clamped to end.
+	got = orOptMove(order, 0, 1, 99)
+	if got[len(got)-1] != 1 {
+		t.Errorf("clamped move = %v", got)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	z := newRNG(0)
+	if z.next() == 0 {
+		t.Error("zero seed should be remapped")
+	}
+}
+
+func BenchmarkOptimize3D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Optimize(3)
+	}
+}
+
+func BenchmarkMessageCount3D(b *testing.B) {
+	order := Surface3D()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MessageCount(order)
+	}
+}

@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// barrier is a reusable generation-counting barrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	waiting int
+	gen     uint64
+}
+
+func (b *barrier) init(size int) {
+	b.size = size
+	b.cond = sync.NewCond(&b.mu)
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.size {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.world.bar.await() }
+
+// Op is a reduction operator for Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+func (op Op) apply(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+	}
+}
+
+// reducer implements Allreduce over all ranks with a two-phase generation
+// protocol: collect, combine in rank order, then read. Rank-ordered
+// combination makes floating-point reductions deterministic across runs,
+// matching how reproducible MPI reductions are configured.
+type reducer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	left    int
+	parts   [][]float64
+	out     []float64
+}
+
+func (r *reducer) init(size int) {
+	r.size = size
+	r.cond = sync.NewCond(&r.mu)
+	r.parts = make([][]float64, size)
+}
+
+func (r *reducer) allreduce(rank int, op Op, in []float64) []float64 {
+	r.mu.Lock()
+	// Wait for any previous reduction's readers to drain.
+	for r.left > 0 {
+		r.cond.Wait()
+	}
+	r.parts[rank] = append(r.parts[rank][:0], in...)
+	r.arrived++
+	if r.arrived == r.size {
+		r.out = append(r.out[:0], r.parts[0]...)
+		for rk := 1; rk < r.size; rk++ {
+			p := r.parts[rk]
+			if len(p) != len(r.out) {
+				r.mu.Unlock()
+				panic(fmt.Sprintf("mpi: Allreduce length mismatch: %d vs %d", len(p), len(r.out)))
+			}
+			for i, v := range p {
+				r.out[i] = op.apply(r.out[i], v)
+			}
+		}
+		r.arrived = 0
+		r.left = r.size
+		r.cond.Broadcast()
+	} else {
+		for r.left == 0 {
+			r.cond.Wait()
+		}
+	}
+	result := append([]float64(nil), r.out...)
+	r.left--
+	if r.left == 0 {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+	return result
+}
+
+// Allreduce combines in across all ranks element-wise with op and returns
+// the combined vector on every rank. All ranks must pass the same length.
+func (c *Comm) Allreduce(op Op, in []float64) []float64 {
+	return c.world.red.allreduce(c.rank, op, in)
+}
+
+// Allreduce1 reduces a single value across all ranks.
+func (c *Comm) Allreduce1(op Op, x float64) float64 {
+	return c.Allreduce(op, []float64{x})[0]
+}
+
+// gatherBuf implements Gather to rank 0.
+type gatherBuf struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	left    int
+	parts   [][]float64
+}
+
+func (g *gatherBuf) init(size int) {
+	g.size = size
+	g.cond = sync.NewCond(&g.mu)
+	g.parts = make([][]float64, size)
+}
+
+func (g *gatherBuf) gather(rank int, in []float64) [][]float64 {
+	g.mu.Lock()
+	for g.left > 0 {
+		g.cond.Wait()
+	}
+	g.parts[rank] = append([]float64(nil), in...)
+	g.arrived++
+	if g.arrived == g.size {
+		g.arrived = 0
+		g.left = g.size
+		g.cond.Broadcast()
+	} else {
+		for g.left == 0 {
+			g.cond.Wait()
+		}
+	}
+	var out [][]float64
+	if rank == 0 {
+		out = make([][]float64, g.size)
+		copy(out, g.parts)
+	}
+	g.left--
+	if g.left == 0 {
+		for i := range g.parts {
+			g.parts[i] = nil
+		}
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+	return out
+}
+
+// Gather collects each rank's vector on rank 0, which receives a slice of
+// per-rank vectors (indexed by rank); other ranks receive nil.
+func (c *Comm) Gather(in []float64) [][]float64 {
+	return c.world.gather.gather(c.rank, in)
+}
+
+// Bcast distributes root's buffer contents to every rank's buf. All ranks
+// must pass buffers of the same length.
+func (c *Comm) Bcast(root int, buf []float64) {
+	const bcastTag = 1<<30 - 7
+	if c.rank == root {
+		reqs := make([]*Request, 0, c.Size()-1)
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				reqs = append(reqs, c.Isend(r, bcastTag, buf))
+			}
+		}
+		Waitall(reqs)
+	} else {
+		c.Recv(root, bcastTag, buf)
+	}
+}

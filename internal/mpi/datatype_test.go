@@ -1,0 +1,238 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func iota64(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	return s
+}
+
+func TestContiguous(t *testing.T) {
+	base := iota64(10)
+	dt := Contiguous{Offset: 3, N: 4}
+	if dt.Count() != 4 {
+		t.Fatal("count")
+	}
+	dst := make([]float64, 4)
+	dt.Pack(base, dst)
+	if dst[0] != 3 || dst[3] != 6 {
+		t.Errorf("pack = %v", dst)
+	}
+	out := make([]float64, 10)
+	dt.Unpack(dst, out)
+	if out[3] != 3 || out[6] != 6 || out[0] != 0 || out[7] != 0 {
+		t.Errorf("unpack = %v", out)
+	}
+}
+
+func TestVector(t *testing.T) {
+	base := iota64(20)
+	dt := Vector{Offset: 1, Blocks: 3, BlockLen: 2, Stride: 5}
+	if dt.Count() != 6 {
+		t.Fatal("count")
+	}
+	dst := make([]float64, 6)
+	dt.Pack(base, dst)
+	want := []float64{1, 2, 6, 7, 11, 12}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("pack = %v, want %v", dst, want)
+		}
+	}
+	out := make([]float64, 20)
+	dt.Unpack(dst, out)
+	for i, w := range want {
+		_ = i
+		found := false
+		for _, v := range out {
+			if v == w && w != 0 {
+				found = true
+			}
+		}
+		if w != 0 && !found {
+			t.Fatalf("unpack lost %v: %v", w, out)
+		}
+	}
+	// Pack(Unpack(x)) == x round trip.
+	dst2 := make([]float64, 6)
+	dt.Pack(out, dst2)
+	for i := range dst {
+		if dst[i] != dst2[i] {
+			t.Fatalf("round trip: %v vs %v", dst, dst2)
+		}
+	}
+}
+
+func TestSubarray3D(t *testing.T) {
+	// 4x4x4 array, select the 2x2x2 block at (1,1,1).
+	sizes := []int{4, 4, 4}
+	base := iota64(64)
+	dt := NewSubarray(sizes, []int{2, 2, 2}, []int{1, 1, 1})
+	if dt.Count() != 8 {
+		t.Fatal("count")
+	}
+	dst := make([]float64, 8)
+	dt.Pack(base, dst)
+	// Element (k,j,i) has value 16k+4j+i.
+	want := []float64{21, 22, 25, 26, 37, 38, 41, 42}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("pack = %v, want %v", dst, want)
+		}
+	}
+	out := make([]float64, 64)
+	dt.Unpack(dst, out)
+	if out[21] != 21 || out[42] != 42 || out[0] != 0 {
+		t.Errorf("unpack wrong: %v...", out[:8])
+	}
+}
+
+func TestSubarray1DMatchesContiguous(t *testing.T) {
+	base := iota64(16)
+	sa := NewSubarray([]int{16}, []int{5}, []int{4})
+	co := Contiguous{Offset: 4, N: 5}
+	a, b := make([]float64, 5), make([]float64, 5)
+	sa.Pack(base, a)
+	co.Pack(base, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("subarray %v vs contiguous %v", a, b)
+		}
+	}
+}
+
+func TestSubarrayPackUnpackRoundTrip(t *testing.T) {
+	// Property: for random valid 2D subarrays, Unpack(Pack(x)) restores
+	// exactly the selected region and nothing else.
+	f := func(rw, rh, sw, sh, sx, sy uint8) bool {
+		W := int(rw)%6 + 2
+		H := int(rh)%6 + 2
+		w := int(sw)%W + 1
+		h := int(sh)%H + 1
+		x := int(sx) % (W - w + 1)
+		y := int(sy) % (H - h + 1)
+		dt := NewSubarray([]int{H, W}, []int{h, w}, []int{y, x})
+		base := iota64(W * H)
+		buf := make([]float64, dt.Count())
+		dt.Pack(base, buf)
+		out := make([]float64, W*H)
+		for i := range out {
+			out[i] = -1
+		}
+		dt.Unpack(buf, out)
+		for j := 0; j < H; j++ {
+			for i := 0; i < W; i++ {
+				inside := j >= y && j < y+h && i >= x && i < x+w
+				got := out[j*W+i]
+				if inside && got != base[j*W+i] {
+					return false
+				}
+				if !inside && got != -1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSubarrayValidation(t *testing.T) {
+	bad := [][3][]int{
+		{{}, {}, {}},
+		{{4}, {4, 4}, {0}},
+		{{4}, {5}, {0}},
+		{{4}, {2}, {3}},
+		{{4}, {0}, {0}},
+		{{0}, {0}, {0}},
+		{{4}, {2}, {-1}},
+	}
+	for _, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSubarray(%v) did not panic", c)
+				}
+			}()
+			NewSubarray(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestSendRecvTyped(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		sizes := []int{4, 4}
+		dt := NewSubarray(sizes, []int{2, 3}, []int{1, 0})
+		scratch := make([]float64, dt.Count())
+		if c.Rank() == 0 {
+			base := iota64(16)
+			c.SendTyped(1, 0, base, dt, scratch).Wait()
+		} else {
+			base := make([]float64, 16)
+			c.RecvTyped(0, 0, base, dt, scratch)
+			// Selected region is rows 1-2, cols 0-2: values 4,5,6,8,9,10.
+			for _, idx := range []int{4, 5, 6, 8, 9, 10} {
+				if base[idx] != float64(idx) {
+					t.Errorf("base[%d] = %v", idx, base[idx])
+				}
+			}
+			if base[0] != 0 || base[7] != 0 {
+				t.Error("typed recv wrote outside selection")
+			}
+		}
+	})
+}
+
+func BenchmarkSubarrayPack(b *testing.B) {
+	// The interpretive engine cost that makes MPI_Types slow.
+	dt := NewSubarray([]int{64, 64, 64}, []int{8, 64, 64}, []int{0, 0, 0})
+	base := iota64(64 * 64 * 64)
+	dst := make([]float64, dt.Count())
+	b.SetBytes(int64(8 * dt.Count()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dt.Pack(base, dst)
+	}
+}
+
+func BenchmarkContiguousPack(b *testing.B) {
+	dt := Contiguous{Offset: 0, N: 8 * 64 * 64}
+	base := iota64(dt.N)
+	dst := make([]float64, dt.N)
+	b.SetBytes(int64(8 * dt.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dt.Pack(base, dst)
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	for _, size := range []int{8, 512, 65536} {
+		b.Run(map[int]string{8: "64B", 512: "4KiB", 65536: "512KiB"}[size], func(b *testing.B) {
+			w := NewWorld(2)
+			b.SetBytes(int64(16 * size))
+			b.ResetTimer()
+			w.Run(func(c *Comm) {
+				buf := make([]float64, size)
+				for i := 0; i < b.N; i++ {
+					if c.Rank() == 0 {
+						c.Send(1, 0, buf)
+						c.Recv(1, 1, buf)
+					} else {
+						c.Recv(0, 0, buf)
+						c.Send(0, 1, buf)
+					}
+				}
+			})
+		})
+	}
+}

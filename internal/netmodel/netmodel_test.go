@@ -1,0 +1,176 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkCost(t *testing.T) {
+	l := Link{Latency: time.Microsecond, Bandwidth: 1e9} // 1 GB/s
+	if got := l.Cost(0); got != time.Microsecond {
+		t.Errorf("zero-byte cost = %v, want latency only", got)
+	}
+	// 1000 bytes at 1 GB/s = 1 µs, plus 1 µs latency.
+	if got := l.Cost(1000); got != 2*time.Microsecond {
+		t.Errorf("1000B cost = %v, want 2µs", got)
+	}
+}
+
+func TestLinkCostNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	Link{}.Cost(-1)
+}
+
+func TestLinkCostZeroBandwidth(t *testing.T) {
+	l := Link{Latency: time.Millisecond}
+	if got := l.Cost(1 << 20); got != time.Millisecond {
+		t.Errorf("zero-bandwidth link charged %v for payload", got)
+	}
+}
+
+func TestCostMonotonic(t *testing.T) {
+	m := ThetaKNL()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.Cost(Network, x) <= m.Cost(Network, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	theta := ThetaKNL()
+	if theta.PageSize != 4096 {
+		t.Errorf("Theta page size = %d, want 4096", theta.PageSize)
+	}
+	summit := SummitV100()
+	if summit.PageSize != 65536 {
+		t.Errorf("Summit page size = %d, want 65536", summit.PageSize)
+	}
+	// GPUDirect must beat staged host transfer plus a network message for
+	// any message size (the CUDA-Aware advantage).
+	for _, n := range []int{512, 4096, 1 << 20} {
+		direct := summit.Cost(GPUDirect, n)
+		staged := summit.Cost(HostDevice, n) + summit.Cost(Network, n)
+		if direct >= staged {
+			t.Errorf("n=%d: GPUDirect %v not cheaper than staged %v", n, direct, staged)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"theta-knl", "theta", "knl", "summit-v100", "summit", "v100", "local", ""} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("cray-ex"); ok {
+		t.Error("unknown machine reported found")
+	}
+}
+
+func TestLinkKindString(t *testing.T) {
+	names := map[LinkKind]string{
+		Network: "network", HostDevice: "host-device",
+		GPUDirect: "gpudirect", PageMigration: "page-migration",
+		LinkKind(99): "LinkKind(99)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestPagePad(t *testing.T) {
+	cases := []struct{ n, page, want int }{
+		{0, 4096, 0},
+		{1, 4096, 4096},
+		{4096, 4096, 4096},
+		{4097, 4096, 8192},
+		{100, 65536, 65536},
+		{-5, 4096, 0},
+	}
+	for _, c := range cases {
+		if got := PagePadAt(c.n, c.page); got != c.want {
+			t.Errorf("PagePadAt(%d,%d) = %d, want %d", c.n, c.page, got, c.want)
+		}
+	}
+	m := SummitV100()
+	if got := m.PagePad(100); got != 65536 {
+		t.Errorf("Summit PagePad(100) = %d", got)
+	}
+}
+
+func TestPagePadProperties(t *testing.T) {
+	f := func(n uint16, pshift uint8) bool {
+		page := 1 << (uint(pshift)%8 + 6) // 64..8192
+		p := PagePadAt(int(n), page)
+		return p >= int(n) && p%page == 0 && p < int(n)+page
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagePadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero page size did not panic")
+		}
+	}()
+	PagePadAt(10, 0)
+}
+
+func TestMeter(t *testing.T) {
+	mt := NewMeter(Local())
+	d1 := mt.Charge(Network, 1000)
+	d2 := mt.Charge(Network, 2000)
+	if mt.Messages != 2 || mt.Bytes != 3000 {
+		t.Errorf("meter counters: %+v", mt)
+	}
+	if mt.Elapsed != d1+d2 {
+		t.Errorf("elapsed %v != %v", mt.Elapsed, d1+d2)
+	}
+	if mt.Bandwidth() <= 0 {
+		t.Error("bandwidth not positive")
+	}
+	mt.Reset()
+	if mt.Messages != 0 || mt.Bytes != 0 || mt.Elapsed != 0 {
+		t.Error("reset incomplete")
+	}
+	if mt.Bandwidth() != 0 {
+		t.Error("empty meter bandwidth not 0")
+	}
+	if mt.Machine.Name != "local" {
+		t.Error("reset dropped machine")
+	}
+}
+
+func TestMeterChargeElems(t *testing.T) {
+	mt := NewMeter(Machine{TypeElemCost: 10 * time.Nanosecond})
+	if got := mt.ChargeElems(100); got != time.Microsecond {
+		t.Errorf("ChargeElems = %v, want 1µs", got)
+	}
+	if mt.Elapsed != time.Microsecond {
+		t.Error("elapsed not accumulated")
+	}
+}
+
+func TestMachineCostPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind did not panic")
+		}
+	}()
+	Local().Cost(LinkKind(42), 10)
+}

@@ -1,0 +1,16 @@
+package shmem
+
+import "unsafe"
+
+// bytesToFloat64 reinterprets a byte slice as float64 elements. The slice
+// must be 8-byte aligned and a multiple of 8 bytes long; arena and view
+// windows are page-aligned, so both hold by construction.
+func bytesToFloat64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		panic("shmem: misaligned buffer")
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -1,0 +1,221 @@
+package stencil
+
+import (
+	"github.com/bricklab/brick/internal/core"
+)
+
+// brickKernel is the table-driven stencil executor for bricks. For each axis
+// it precomputes, for every in-brick coordinate plus stencil offset, which
+// neighbor step (-1/0/+1) the access takes and the local coordinate inside
+// that brick. The inner loop then reads through a per-brick table of 27
+// neighbor base offsets — no branches, no method calls — which is how the
+// paper's brick code generator realizes cross-brick accesses with vector
+// align operations.
+type brickKernel struct {
+	sh     core.Shape
+	r      int
+	pts    []Point
+	step   [3][]int8  // coordinate+r -> neighbor step along the axis
+	loc    [3][]int32 // coordinate+r -> local coordinate in target brick
+	rowOff []int32    // scratch: per-point (k,j)-dependent element offset
+	rowAdj []int32    // scratch: per-point (k,j)-dependent adjacency group
+	bases  [core.NumAdj]int64
+}
+
+func newBrickKernel(sh core.Shape, st Stencil) *brickKernel {
+	k := &brickKernel{sh: sh, r: st.Radius, pts: st.Points,
+		rowOff: make([]int32, len(st.Points)),
+		rowAdj: make([]int32, len(st.Points)),
+	}
+	for a := 0; a < 3; a++ {
+		n := sh[a] + 2*st.Radius
+		k.step[a] = make([]int8, n)
+		k.loc[a] = make([]int32, n)
+		for x := 0; x < n; x++ {
+			c := x - st.Radius
+			switch {
+			case c < 0:
+				k.step[a][x] = -1
+				k.loc[a][x] = int32(c + sh[a])
+			case c >= sh[a]:
+				k.step[a][x] = 1
+				k.loc[a][x] = int32(c - sh[a])
+			default:
+				k.step[a][x] = 0
+				k.loc[a][x] = int32(c)
+			}
+		}
+	}
+	return k
+}
+
+// loadBases fills the 27 neighbor base offsets (element index of the field's
+// first element in each adjacent brick) for brick b. Missing neighbors get a
+// poisoned base that traps via slice bounds if ever read.
+func (kr *brickKernel) loadBases(src core.Brick, b int) {
+	chunk := int64(src.Storage.Chunk())
+	fb := int64(src.FieldBase())
+	for a := 0; a < core.NumAdj; a++ {
+		nb := int64(core.NoBrick)
+		switch a {
+		case core.AdjSelf:
+			nb = int64(b)
+		default:
+			dk := a/9 - 1
+			dj := (a/3)%3 - 1
+			di := a%3 - 1
+			nb = int64(src.Info.Adjacent(b, di, dj, dk))
+		}
+		if nb < 0 {
+			kr.bases[a] = int64(len(src.Storage.Data)) // trap if dereferenced
+		} else {
+			kr.bases[a] = nb*chunk + fb
+		}
+	}
+}
+
+// basesValidFor reports whether every neighbor base reachable from the box
+// [lo, hi) under the stencil radius exists. Bricks at the edge of the
+// allocated grid have missing outward neighbors, but a box deep enough
+// inside never reaches them.
+func (kr *brickKernel) basesValidFor(src core.Brick, lo, hi [3]int) bool {
+	limit := int64(len(src.Storage.Data))
+	var steps [3][2]bool // per axis: -1 reachable, +1 reachable
+	for a := 0; a < 3; a++ {
+		steps[a][0] = lo[a]-kr.r < 0
+		steps[a][1] = hi[a]-1+kr.r >= kr.sh[a]
+	}
+	reach := func(s, axis int) bool {
+		switch s {
+		case -1:
+			return steps[axis][0]
+		case 1:
+			return steps[axis][1]
+		default:
+			return true
+		}
+	}
+	for sk := -1; sk <= 1; sk++ {
+		for sj := -1; sj <= 1; sj++ {
+			for si := -1; si <= 1; si++ {
+				if !reach(si, 0) || !reach(sj, 1) || !reach(sk, 2) {
+					continue
+				}
+				if kr.bases[(sk+1)*9+(sj+1)*3+si+1] >= limit {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// runFast applies the stencil to every element of brick b using the
+// segment-split row formulation: along the unit-stride axis each stencil
+// point contributes at most two constant-base contiguous runs, so the inner
+// loops are pure multiply-accumulate sweeps (the shape of the brick
+// library's vector-align code generation). Requires all 27 neighbors to
+// exist; callers fall back to run() otherwise.
+func (kr *brickKernel) runFast(dst, src core.Brick, b int, row []float64, lo, hi [3]int) {
+	sh := kr.sh
+	r := kr.r
+	sdat := src.Storage.Data
+	ddat := dst.Storage.Data
+	dbase := b*dst.Storage.Chunk() + dst.FieldBase()
+	I, J := sh[0], sh[1]
+	i0, i1 := lo[0], hi[0]
+	for k := lo[2]; k < hi[2]; k++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			for i := i0; i < i1; i++ {
+				row[i] = 0
+			}
+			for p := range kr.pts {
+				pt := &kr.pts[p]
+				sk := kr.step[2][k+pt.DK+r]
+				lk := kr.loc[2][k+pt.DK+r]
+				sj := kr.step[1][j+pt.DJ+r]
+				lj := kr.loc[1][j+pt.DJ+r]
+				adjRow := int32(sk+1)*9 + int32(sj+1)*3
+				off := int64(lk*int32(J)+lj) * int64(I)
+				c := pt.C
+				emit := func(step int32, lo, hi int) {
+					if lo >= hi {
+						return
+					}
+					shift := pt.DI
+					switch {
+					case step < 0:
+						shift += I
+					case step > 0:
+						shift -= I
+					}
+					base := kr.bases[adjRow+step+1] + off + int64(shift)
+					s := sdat[base+int64(lo) : base+int64(hi)]
+					rr := row[lo:hi]
+					for x := range rr {
+						rr[x] += c * s[x]
+					}
+				}
+				seg := func(step int32, a, b int) {
+					if a < i0 {
+						a = i0
+					}
+					if b > i1 {
+						b = i1
+					}
+					emit(step, a, b)
+				}
+				switch {
+				case pt.DI < 0:
+					seg(-1, 0, -pt.DI)
+					seg(0, -pt.DI, I)
+				case pt.DI > 0:
+					seg(0, 0, I-pt.DI)
+					seg(1, I-pt.DI, I)
+				default:
+					seg(0, 0, I)
+				}
+			}
+			copy(ddat[dbase+(k*J+j)*I+i0:dbase+(k*J+j)*I+i1], row[i0:i1])
+		}
+	}
+}
+
+// run applies the stencil to every element of brick b for which
+// keep(i,j,k) is true (nil keep = all elements).
+func (kr *brickKernel) run(dst, src core.Brick, b int, keep func(i, j, k int) bool) {
+	kr.loadBases(src, b)
+	sh := kr.sh
+	r := kr.r
+	sdat := src.Storage.Data
+	ddat := dst.Storage.Data
+	dbase := b*dst.Storage.Chunk() + dst.FieldBase()
+	I, J := sh[0], sh[1]
+	for k := 0; k < sh[2]; k++ {
+		for j := 0; j < sh[1]; j++ {
+			// Hoist the (k,j)-dependent parts per stencil point.
+			for p, pt := range kr.pts {
+				sk := kr.step[2][k+pt.DK+r]
+				lk := kr.loc[2][k+pt.DK+r]
+				sj := kr.step[1][j+pt.DJ+r]
+				lj := kr.loc[1][j+pt.DJ+r]
+				kr.rowAdj[p] = int32(sk+1)*9 + int32(sj+1)*3
+				kr.rowOff[p] = (lk*int32(J) + lj) * int32(I)
+			}
+			drow := dbase + (k*J+j)*I
+			for i := 0; i < sh[0]; i++ {
+				if keep != nil && !keep(i, j, k) {
+					continue
+				}
+				acc := 0.0
+				for p := range kr.pts {
+					pt := &kr.pts[p]
+					x := i + pt.DI + r
+					base := kr.bases[kr.rowAdj[p]+int32(kr.step[0][x])+1]
+					acc += pt.C * sdat[base+int64(kr.rowOff[p])+int64(kr.loc[0][x])]
+				}
+				ddat[drow+i] = acc
+			}
+		}
+	}
+}

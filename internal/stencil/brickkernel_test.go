@@ -1,0 +1,118 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/layout"
+)
+
+// kernelSetup builds a decomposition with deterministically-filled field 0.
+func kernelSetup(t testing.TB, dom [3]int, ghost int) (*core.BrickDecomp, *core.BrickStorage, core.Brick, core.Brick, core.Brick) {
+	t.Helper()
+	dec, err := core.NewBrickDecomp(core.Shape{4, 4, 4}, dom, ghost, 3, layout.Surface3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := dec.Allocate()
+	ext := dec.ExtDim()
+	for k := 0; k < ext[2]; k++ {
+		for j := 0; j < ext[1]; j++ {
+			for i := 0; i < ext[0]; i++ {
+				x := uint64((k*ext[1]+j)*ext[0]+i+1) * 0x9E3779B97F4A7C15
+				dec.SetElem(bs, 0, i, j, k, float64(x%997)/991.0-0.5)
+			}
+		}
+	}
+	info := dec.BrickInfo()
+	src := core.NewBrick(info, bs, 0)
+	a := core.NewBrick(info, bs, 1)
+	b := core.NewBrick(info, bs, 2)
+	return dec, bs, src, a, b
+}
+
+// TestKernelMatchesReference cross-validates the table-driven kernel against
+// the accessor-based oracle for several stencils and margins.
+func TestKernelMatchesReference(t *testing.T) {
+	for _, st := range []Stencil{Star7(), Cube125(), Star5()} {
+		for _, margin := range []int{0, 1, 4 - st.Radius} {
+			dec, bs, src, a, b := kernelSetup(t, [3]int{16, 12, 16}, 4)
+			ApplyBricks(a, src, dec, st, margin)
+			applyBricksReference(b, src, dec, st, margin)
+			ext := dec.ExtDim()
+			fa := dec.ToArray(bs, 1)
+			fb := dec.ToArray(bs, 2)
+			for p := range fa {
+				if math.Abs(fa[p]-fb[p]) > 1e-13 {
+					k := p / (ext[0] * ext[1])
+					j := (p / ext[0]) % ext[1]
+					i := p % ext[0]
+					t.Fatalf("%s margin %d at (%d,%d,%d): kernel %v reference %v",
+						st.Name, margin, i, j, k, fa[p], fb[p])
+				}
+			}
+		}
+	}
+}
+
+func TestKernelTables(t *testing.T) {
+	kr := newBrickKernel(core.Shape{4, 4, 4}, Star7())
+	// coordinate -1 (index 0 with r=1) steps to -1 neighbor, local 3.
+	if kr.step[0][0] != -1 || kr.loc[0][0] != 3 {
+		t.Errorf("low edge: step %d loc %d", kr.step[0][0], kr.loc[0][0])
+	}
+	// coordinate 4 (index 5) steps to +1 neighbor, local 0.
+	if kr.step[0][5] != 1 || kr.loc[0][5] != 0 {
+		t.Errorf("high edge: step %d loc %d", kr.step[0][5], kr.loc[0][5])
+	}
+	// interior coordinate 2 (index 3) stays.
+	if kr.step[0][3] != 0 || kr.loc[0][3] != 2 {
+		t.Errorf("interior: step %d loc %d", kr.step[0][3], kr.loc[0][3])
+	}
+}
+
+func BenchmarkBrickKernelVsReference(b *testing.B) {
+	dom := [3]int{32, 32, 32}
+	for _, mode := range []string{"kernel", "reference"} {
+		b.Run(mode, func(b *testing.B) {
+			dec, _, src, dst, _ := kernelSetup(b, dom, 4)
+			st := Star7()
+			b.SetBytes(int64(8 * dom[0] * dom[1] * dom[2]))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "kernel" {
+					ApplyBricks(dst, src, dec, st, 0)
+				} else {
+					applyBricksReference(dst, src, dec, st, 0)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		dec, bs, src, a, b := kernelSetup(t, [3]int{16, 16, 16}, 4)
+		st := Star7()
+		ApplyBricks(a, src, dec, st, 3)
+		ApplyBricksParallel(b, src, dec, st, 3, workers)
+		fa := dec.ToArray(bs, 1)
+		fb := dec.ToArray(bs, 2)
+		for p := range fa {
+			if fa[p] != fb[p] {
+				t.Fatalf("workers=%d: element %d differs: %v vs %v", workers, p, fa[p], fb[p])
+			}
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	dec, _, src, a, _ := kernelSetup(t, [3]int{16, 16, 16}, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("margin overflow accepted")
+		}
+	}()
+	ApplyBricksParallel(a, src, dec, Star7(), 4, 2)
+}

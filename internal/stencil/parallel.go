@@ -1,0 +1,91 @@
+package stencil
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/bricklab/brick/internal/core"
+)
+
+// ApplyBricksParallel is ApplyBricks with the brick list divided across
+// worker goroutines (the role of a rank's OpenMP team in the paper's
+// experiments: bricks are independent units of parallel work, so no
+// synchronization is needed within one application). workers <= 0 selects
+// GOMAXPROCS.
+func ApplyBricksParallel(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin, workers int) {
+	if margin+st.Radius > dec.Ghost() {
+		panic(fmt.Sprintf("stencil: margin %d + radius %d exceeds ghost %d", margin, st.Radius, dec.Ghost()))
+	}
+	sh := dec.Shape()
+	for a := 0; a < 3; a++ {
+		if st.Radius > sh[a] {
+			panic("stencil: radius exceeds brick extent")
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := dec.NumBricks()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		ApplyBricks(dst, src, dec, st, margin)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			applyBrickRange(dst, src, dec, st, margin, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// applyBrickRange applies the stencil to bricks with storage indices in
+// [loIdx, hiIdx), using the same box/fast-path dispatch as ApplyBricks.
+func applyBrickRange(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin, loIdx, hiIdx int) {
+	sh := dec.Shape()
+	dom, g := dec.Dom(), dec.Ghost()
+	kr := newBrickKernel(sh, st)
+	row := make([]float64, sh[0])
+	for idx := loIdx; idx < hiIdx; idx++ {
+		c := dec.BrickCoord(idx)
+		if c[0] < 0 {
+			continue
+		}
+		var lo, hi [3]int
+		empty := false
+		for a := 0; a < 3; a++ {
+			org := c[a] * sh[a]
+			lo[a] = max(0, g-margin-org)
+			hi[a] = min(sh[a], g+dom[a]+margin-org)
+			if lo[a] >= hi[a] {
+				empty = true
+			}
+		}
+		if empty {
+			continue
+		}
+		kr.loadBases(src, idx)
+		if kr.basesValidFor(src, lo, hi) {
+			kr.runFast(dst, src, idx, row, lo, hi)
+		} else {
+			kr.run(dst, src, idx, func(i, j, k int) bool {
+				return i >= lo[0] && i < hi[0] && j >= lo[1] && j < hi[1] && k >= lo[2] && k < hi[2]
+			})
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package stencil defines the stencil operators of the paper's evaluation —
+// the 7-point star (low arithmetic intensity) and the 5³ 125-point cube with
+// 10 symmetry-unique coefficients (high arithmetic intensity) — and applies
+// them to both lexicographic grids and brick storage. Application takes a
+// margin parameter implementing ghost-cell expansion: margin m computes
+// every element within m of the domain (redundant work inside the ghost
+// zone), which lets a ghost zone of width G amortize one exchange across
+// G/radius timesteps.
+package stencil
+
+import (
+	"fmt"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/grid"
+)
+
+// Point is one stencil tap: an offset and its coefficient.
+type Point struct {
+	DI, DJ, DK int
+	C          float64
+}
+
+// Stencil is a constant-coefficient stencil operator.
+type Stencil struct {
+	Name   string
+	Radius int
+	Points []Point
+}
+
+// Flops returns floating-point operations per output element (one multiply
+// and one add per tap, minus the first add).
+func (s Stencil) Flops() int { return 2*len(s.Points) - 1 }
+
+// Star7 returns the canonical 7-point star stencil with distinct
+// coefficients per direction (distinct values catch axis mix-ups in
+// kernels); the coefficients sum to 1, so a constant field is a fixed point.
+func Star7() Stencil {
+	return Stencil{
+		Name:   "7pt",
+		Radius: 1,
+		Points: []Point{
+			{0, 0, 0, 0.25},
+			{-1, 0, 0, 0.0833}, {1, 0, 0, 0.1},
+			{0, -1, 0, 0.1167}, {0, 1, 0, 0.15},
+			{0, 0, -1, 0.1333}, {0, 0, 1, 0.1667},
+		},
+	}
+}
+
+// Cube125 returns the 5³ cube stencil with 10 coefficients unique up to
+// symmetry (the multiset of |di|,|dj|,|dk| picks the coefficient), matching
+// the paper's high-arithmetic-intensity proxy. Coefficients are normalized
+// to sum to 1.
+func Cube125() Stencil {
+	classes := map[[3]int]int{}
+	idx := 0
+	for a := 0; a <= 2; a++ {
+		for b := a; b <= 2; b++ {
+			for c := b; c <= 2; c++ {
+				classes[[3]int{a, b, c}] = idx
+				idx++
+			}
+		}
+	}
+	// Deterministic per-class weights, then normalize.
+	weights := make([]float64, idx)
+	for i := range weights {
+		weights[i] = 1.0 / float64(1+i*i)
+	}
+	var pts []Point
+	sum := 0.0
+	for dk := -2; dk <= 2; dk++ {
+		for dj := -2; dj <= 2; dj++ {
+			for di := -2; di <= 2; di++ {
+				key := sorted3(abs(di), abs(dj), abs(dk))
+				w := weights[classes[key]]
+				pts = append(pts, Point{di, dj, dk, w})
+				sum += w
+			}
+		}
+	}
+	for i := range pts {
+		pts[i].C /= sum
+	}
+	return Stencil{Name: "125pt", Radius: 2, Points: pts}
+}
+
+// Star5 returns a 2D 5-point star in the i-j plane (the paper's low-order
+// example motivating ghost-cell expansion).
+func Star5() Stencil {
+	return Stencil{
+		Name:   "5pt",
+		Radius: 1,
+		Points: []Point{
+			{0, 0, 0, 0.4},
+			{-1, 0, 0, 0.12}, {1, 0, 0, 0.14},
+			{0, -1, 0, 0.16}, {0, 1, 0, 0.18},
+		},
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sorted3(a, b, c int) [3]int {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return [3]int{a, b, c}
+}
+
+// ApplyGrid applies the stencil to every extended element within margin of
+// the domain, reading src and writing dst (distinct grids of equal shape).
+// margin+Radius must not exceed the ghost width.
+func ApplyGrid(dst, src *grid.Grid, st Stencil, margin int) {
+	if dst.Ext != src.Ext || dst.Ghost != src.Ghost {
+		panic("stencil: grid shape mismatch")
+	}
+	if margin+st.Radius > src.Ghost {
+		panic(fmt.Sprintf("stencil: margin %d + radius %d exceeds ghost %d", margin, st.Radius, src.Ghost))
+	}
+	offs := make([]int, len(st.Points))
+	cs := make([]float64, len(st.Points))
+	for p, pt := range st.Points {
+		offs[p] = (pt.DK*src.Ext[1]+pt.DJ)*src.Ext[0] + pt.DI
+		cs[p] = pt.C
+	}
+	g := src.Ghost
+	var lo, hi [3]int
+	for a := 0; a < 3; a++ {
+		lo[a], hi[a] = g-margin, g+src.Dom[a]+margin
+	}
+	for k := lo[2]; k < hi[2]; k++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			base := src.Idx(lo[0], j, k)
+			for i := base; i < base+hi[0]-lo[0]; i++ {
+				acc := 0.0
+				for p, off := range offs {
+					acc += cs[p] * src.Data[i+off]
+				}
+				dst.Data[i] = acc
+			}
+		}
+	}
+}
+
+// ApplyGridRegion applies the stencil over an explicit extended-coordinate
+// box [lo, hi). The caller guarantees the stencil footprint stays inside the
+// extended array. Used by the overlapped baseline to compute the
+// ghost-independent interior while communication is in flight.
+func ApplyGridRegion(dst, src *grid.Grid, st Stencil, lo, hi [3]int) {
+	offs := make([]int, len(st.Points))
+	for p, pt := range st.Points {
+		offs[p] = (pt.DK*src.Ext[1]+pt.DJ)*src.Ext[0] + pt.DI
+	}
+	for k := lo[2]; k < hi[2]; k++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			base := src.Idx(lo[0], j, k)
+			for i := base; i < base+hi[0]-lo[0]; i++ {
+				acc := 0.0
+				for p, off := range offs {
+					acc += st.Points[p].C * src.Data[i+off]
+				}
+				dst.Data[i] = acc
+			}
+		}
+	}
+}
+
+// ApplyGridShell applies the stencil over the margin region minus the inner
+// box [skipLo, skipHi) — the boundary completion pass of the overlapped
+// baseline after communication finishes.
+func ApplyGridShell(dst, src *grid.Grid, st Stencil, margin int, skipLo, skipHi [3]int) {
+	if margin+st.Radius > src.Ghost {
+		panic("stencil: margin + radius exceeds ghost")
+	}
+	g := src.Ghost
+	var lo, hi [3]int
+	for a := 0; a < 3; a++ {
+		lo[a], hi[a] = g-margin, g+src.Dom[a]+margin
+	}
+	// Decompose region \ inner into six slabs.
+	boxes := [][2][3]int{
+		{{lo[0], lo[1], lo[2]}, {hi[0], hi[1], skipLo[2]}},                 // low k
+		{{lo[0], lo[1], skipHi[2]}, {hi[0], hi[1], hi[2]}},                 // high k
+		{{lo[0], lo[1], skipLo[2]}, {hi[0], skipLo[1], skipHi[2]}},         // low j
+		{{lo[0], skipHi[1], skipLo[2]}, {hi[0], hi[1], skipHi[2]}},         // high j
+		{{lo[0], skipLo[1], skipLo[2]}, {skipLo[0], skipHi[1], skipHi[2]}}, // low i
+		{{skipHi[0], skipLo[1], skipLo[2]}, {hi[0], skipHi[1], skipHi[2]}}, // high i
+	}
+	for _, b := range boxes {
+		blo, bhi := b[0], b[1]
+		empty := false
+		for a := 0; a < 3; a++ {
+			if bhi[a] <= blo[a] {
+				empty = true
+			}
+		}
+		if !empty {
+			ApplyGridRegion(dst, src, st, blo, bhi)
+		}
+	}
+}
+
+// ApplyBricks applies the stencil to brick storage: every element within
+// margin of the domain is recomputed from src into dst. src and dst are
+// brick accessors over the same decomposition (typically two fields of one
+// interleaved storage, so the exchange carries both). margin+Radius must not
+// exceed the ghost width, and Radius must not exceed the brick extents.
+func ApplyBricks(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin int) {
+	if margin+st.Radius > dec.Ghost() {
+		panic(fmt.Sprintf("stencil: margin %d + radius %d exceeds ghost %d", margin, st.Radius, dec.Ghost()))
+	}
+	sh := dec.Shape()
+	for a := 0; a < 3; a++ {
+		if st.Radius > sh[a] {
+			panic("stencil: radius exceeds brick extent")
+		}
+	}
+	applyBrickRange(dst, src, dec, st, margin, 0, dec.NumBricks())
+}
+
+// ApplyBricksRange applies the stencil only to bricks with storage indices
+// in [lo, hi). Because the decomposition stores the interior span and each
+// surface region contiguously, this is the building block for overlapping
+// communication with interior computation: compute Interior() while the
+// exchange is in flight, then the surface spans after it completes.
+func ApplyBricksRange(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin, lo, hi int) {
+	if margin+st.Radius > dec.Ghost() {
+		panic(fmt.Sprintf("stencil: margin %d + radius %d exceeds ghost %d", margin, st.Radius, dec.Ghost()))
+	}
+	sh := dec.Shape()
+	for a := 0; a < 3; a++ {
+		if st.Radius > sh[a] {
+			panic("stencil: radius exceeds brick extent")
+		}
+	}
+	if lo < 0 || hi > dec.NumBricks() || lo > hi {
+		panic("stencil: brick range out of bounds")
+	}
+	applyBrickRange(dst, src, dec, st, margin, lo, hi)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// depth1 returns how far an extended coordinate sits outside the domain
+// range [g, g+dom) on one axis.
+func depth1(e, g, dom int) int {
+	switch {
+	case e < g:
+		return g - e
+	case e >= g+dom:
+		return e - (g + dom) + 1
+	default:
+		return 0
+	}
+}
+
+// applyBricksReference is the straightforward accessor-based implementation
+// (one Brick.At per tap). It is the correctness oracle for the table-driven
+// kernel and the subject of an ablation benchmark.
+func applyBricksReference(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin int) {
+	sh := dec.Shape()
+	dom, g := dec.Dom(), dec.Ghost()
+	for idx := 0; idx < dec.NumBricks(); idx++ {
+		c := dec.BrickCoord(idx)
+		if c[0] < 0 {
+			continue
+		}
+		org := [3]int{c[0] * sh[0], c[1] * sh[1], c[2] * sh[2]}
+		for k := 0; k < sh[2]; k++ {
+			if depth1(org[2]+k, g, dom[2]) > margin {
+				continue
+			}
+			for j := 0; j < sh[1]; j++ {
+				if depth1(org[1]+j, g, dom[1]) > margin {
+					continue
+				}
+				for i := 0; i < sh[0]; i++ {
+					if depth1(org[0]+i, g, dom[0]) > margin {
+						continue
+					}
+					acc := 0.0
+					for _, pt := range st.Points {
+						acc += pt.C * src.At(idx, i+pt.DI, j+pt.DJ, k+pt.DK)
+					}
+					dst.Set(idx, i, j, k, acc)
+				}
+			}
+		}
+	}
+}

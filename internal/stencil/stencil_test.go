@@ -1,0 +1,256 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/grid"
+	"github.com/bricklab/brick/internal/layout"
+)
+
+func TestStencilDefinitions(t *testing.T) {
+	s7 := Star7()
+	if len(s7.Points) != 7 || s7.Radius != 1 {
+		t.Errorf("Star7: %d points radius %d", len(s7.Points), s7.Radius)
+	}
+	if s7.Flops() != 13 {
+		t.Errorf("Star7 flops = %d", s7.Flops())
+	}
+	c125 := Cube125()
+	if len(c125.Points) != 125 || c125.Radius != 2 {
+		t.Errorf("Cube125: %d points radius %d", len(c125.Points), c125.Radius)
+	}
+	s5 := Star5()
+	if len(s5.Points) != 5 {
+		t.Errorf("Star5: %d points", len(s5.Points))
+	}
+	// Coefficients sum to 1: constant fields are fixed points.
+	for _, st := range []Stencil{s7, c125, s5} {
+		sum := 0.0
+		for _, p := range st.Points {
+			sum += p.C
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("%s coefficients sum to %v", st.Name, sum)
+		}
+	}
+	// Cube125 symmetry: coefficient depends only on |offset| multiset.
+	coef := map[[3]int]float64{}
+	for _, p := range c125.Points {
+		key := sorted3(abs(p.DI), abs(p.DJ), abs(p.DK))
+		if prev, ok := coef[key]; ok && prev != p.C {
+			t.Errorf("Cube125 asymmetric at class %v", key)
+		}
+		coef[key] = p.C
+	}
+	if len(coef) != 10 {
+		t.Errorf("Cube125 has %d coefficient classes, want 10", len(coef))
+	}
+}
+
+func TestApplyGridConstantFixedPoint(t *testing.T) {
+	src := grid.New([3]int{8, 8, 8}, 2)
+	dst := grid.New([3]int{8, 8, 8}, 2)
+	for i := range src.Data {
+		src.Data[i] = 3.5
+	}
+	ApplyGrid(dst, src, Star7(), 1)
+	for k := 1; k < 19; k++ { // computed region: depth ≤ 1
+		v := dst.At(k%10+1, 5, 5)
+		if math.Abs(v-3.5) > 1e-12 {
+			t.Fatalf("constant field moved: %v", v)
+		}
+	}
+}
+
+func TestApplyGridKnownValue(t *testing.T) {
+	// Linear field f = i is a fixed point of any stencil whose coefficients
+	// sum to 1 and whose i-moment is zero; Star7 has asymmetric coefficients
+	// so compute the expected drift explicitly.
+	src := grid.New([3]int{8, 8, 8}, 2)
+	dst := grid.New([3]int{8, 8, 8}, 2)
+	st := Star7()
+	for k := 0; k < 12; k++ {
+		for j := 0; j < 12; j++ {
+			for i := 0; i < 12; i++ {
+				src.Set(i, j, k, float64(i))
+			}
+		}
+	}
+	drift := 0.0
+	for _, p := range st.Points {
+		drift += p.C * float64(p.DI)
+	}
+	ApplyGrid(dst, src, st, 0)
+	if got, want := dst.At(5, 5, 5), 5+drift; math.Abs(got-want) > 1e-12 {
+		t.Errorf("linear field: got %v want %v", got, want)
+	}
+}
+
+func TestApplyGridMarginPanics(t *testing.T) {
+	src := grid.New([3]int{8, 8, 8}, 2)
+	dst := grid.New([3]int{8, 8, 8}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("margin+radius > ghost accepted")
+		}
+	}()
+	ApplyGrid(dst, src, Star7(), 2)
+}
+
+func TestApplyGridShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch accepted")
+		}
+	}()
+	ApplyGrid(grid.New([3]int{8, 8, 8}, 2), grid.New([3]int{8, 8, 4}, 2), Star7(), 0)
+}
+
+// fillRandomish deterministically fills an extended array.
+func fillRandomish(g *grid.Grid) {
+	for i := range g.Data {
+		x := uint64(i+1) * 0x9E3779B97F4A7C15
+		g.Data[i] = float64(x%1000)/997.0 - 0.5
+	}
+}
+
+// brickVsGrid applies the stencil both ways on identical data and compares
+// every computed element.
+func brickVsGrid(t *testing.T, st Stencil, dom [3]int, ghost, margin int) {
+	t.Helper()
+	src := grid.New(dom, ghost)
+	dst := grid.New(dom, ghost)
+	fillRandomish(src)
+	ApplyGrid(dst, src, st, margin)
+
+	dec, err := core.NewBrickDecomp(core.Shape{4, 4, 4}, dom, ghost, 2, layout.Surface3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := dec.Allocate()
+	dec.FromArray(bs, 0, src.Data)
+	info := dec.BrickInfo()
+	bsrc := core.NewBrick(info, bs, 0)
+	bdst := core.NewBrick(info, bs, 1)
+	ApplyBricks(bdst, bsrc, dec, st, margin)
+	out := dec.ToArray(bs, 1)
+
+	g := ghost
+	for k := 0; k < src.Ext[2]; k++ {
+		for j := 0; j < src.Ext[1]; j++ {
+			for i := 0; i < src.Ext[0]; i++ {
+				d := depth1(i, g, dom[0])
+				if dj := depth1(j, g, dom[1]); dj > d {
+					d = dj
+				}
+				if dk := depth1(k, g, dom[2]); dk > d {
+					d = dk
+				}
+				if d > margin {
+					continue // not computed
+				}
+				want := dst.At(i, j, k)
+				got := out[src.Idx(i, j, k)]
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("%s margin %d at (%d,%d,%d): brick %v grid %v", st.Name, margin, i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBrickMatchesGridStar7(t *testing.T) {
+	brickVsGrid(t, Star7(), [3]int{16, 16, 16}, 4, 0)
+}
+
+func TestBrickMatchesGridStar7Margin(t *testing.T) {
+	brickVsGrid(t, Star7(), [3]int{16, 16, 16}, 4, 3)
+}
+
+func TestBrickMatchesGridCube125(t *testing.T) {
+	brickVsGrid(t, Cube125(), [3]int{16, 16, 16}, 4, 0)
+}
+
+func TestBrickMatchesGridCube125Margin(t *testing.T) {
+	brickVsGrid(t, Cube125(), [3]int{16, 16, 16}, 4, 2)
+}
+
+func TestBrickMatchesGridStar5(t *testing.T) {
+	brickVsGrid(t, Star5(), [3]int{16, 16, 16}, 4, 1)
+}
+
+func TestBrickMatchesGridAnisotropic(t *testing.T) {
+	brickVsGrid(t, Star7(), [3]int{24, 16, 12}, 4, 2)
+}
+
+func TestApplyBricksValidation(t *testing.T) {
+	dec, err := core.NewBrickDecomp(core.Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 2, layout.Surface3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := dec.Allocate()
+	info := dec.BrickInfo()
+	a := core.NewBrick(info, bs, 0)
+	b := core.NewBrick(info, bs, 1)
+	// margin + radius > ghost
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("margin overflow accepted")
+			}
+		}()
+		ApplyBricks(b, a, dec, Star7(), 4)
+	}()
+	// radius > brick extent
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized radius accepted")
+			}
+		}()
+		big := Stencil{Name: "r5", Radius: 5, Points: []Point{{5, 0, 0, 1}}}
+		ApplyBricks(b, a, dec, big, 0)
+	}()
+}
+
+func TestDepth1(t *testing.T) {
+	// ghost 4, dom 8: ext coords 0..15.
+	cases := []struct{ e, want int }{
+		{0, 4}, {3, 1}, {4, 0}, {11, 0}, {12, 1}, {15, 4},
+	}
+	for _, c := range cases {
+		if got := depth1(c.e, 4, 8); got != c.want {
+			t.Errorf("depth1(%d) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func BenchmarkStar7Bricks64(b *testing.B) {
+	dec, err := core.NewBrickDecomp(core.Shape{8, 8, 8}, [3]int{64, 64, 64}, 8, 2, layout.Surface3D())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := dec.Allocate()
+	info := dec.BrickInfo()
+	src := core.NewBrick(info, bs, 0)
+	dst := core.NewBrick(info, bs, 1)
+	st := Star7()
+	b.SetBytes(int64(8 * 64 * 64 * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyBricks(dst, src, dec, st, 0)
+	}
+}
+
+func BenchmarkStar7Grid64(b *testing.B) {
+	src := grid.New([3]int{64, 64, 64}, 8)
+	dst := grid.New([3]int{64, 64, 64}, 8)
+	st := Star7()
+	b.SetBytes(int64(8 * 64 * 64 * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyGrid(dst, src, st, 0)
+	}
+}

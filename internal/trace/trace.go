@@ -1,0 +1,182 @@
+// Package trace records communication and computation events as a timeline
+// that can be inspected programmatically or exported in the Chrome trace
+// format (chrome://tracing, Perfetto). The harness and tools use it to make
+// per-message behaviour visible: when each exchange posted, matched, and
+// completed, how many bytes each message carried, and how phases interleave
+// across ranks.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds.
+const (
+	KindSend    Kind = "send"
+	KindRecv    Kind = "recv"
+	KindWait    Kind = "wait"
+	KindPack    Kind = "pack"
+	KindCompute Kind = "compute"
+	KindPhase   Kind = "phase"
+)
+
+// Event is one timed interval on a rank's timeline.
+type Event struct {
+	Rank  int
+	Kind  Kind
+	Name  string        // e.g. "send->3 tag=129"
+	Start time.Duration // offset from the recorder's epoch
+	Dur   time.Duration
+	Bytes int64
+	Peer  int // peer rank for send/recv, -1 otherwise
+}
+
+// Recorder collects events from concurrent ranks. The zero Recorder is not
+// usable; construct with NewRecorder. All methods are safe for concurrent
+// use.
+type Recorder struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []Event
+}
+
+// NewRecorder starts a recorder whose timeline begins now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Begin opens an event interval; call the returned func to close it.
+func (r *Recorder) Begin(rank int, kind Kind, name string, peer int, bytes int64) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Since(r.epoch)
+	return func() {
+		end := time.Since(r.epoch)
+		r.mu.Lock()
+		r.events = append(r.events, Event{
+			Rank: rank, Kind: kind, Name: name,
+			Start: start, Dur: end - start,
+			Bytes: bytes, Peer: peer,
+		})
+		r.mu.Unlock()
+	}
+}
+
+// Record adds a completed event directly.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Summary aggregates total duration and bytes per (rank, kind).
+func (r *Recorder) Summary() map[int]map[Kind]struct {
+	Dur   time.Duration
+	Bytes int64
+	Count int
+} {
+	out := map[int]map[Kind]struct {
+		Dur   time.Duration
+		Bytes int64
+		Count int
+	}{}
+	for _, e := range r.Events() {
+		if out[e.Rank] == nil {
+			out[e.Rank] = map[Kind]struct {
+				Dur   time.Duration
+				Bytes int64
+				Count int
+			}{}
+		}
+		s := out[e.Rank][e.Kind]
+		s.Dur += e.Dur
+		s.Bytes += e.Bytes
+		s.Count++
+		out[e.Rank][e.Kind] = s
+	}
+	return out
+}
+
+// chromeEvent is the Chrome trace "complete event" (ph=X) JSON shape.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the timeline in the Chrome trace-event JSON array
+// format: one row (tid) per rank.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	evs := r.Events()
+	out := make([]chromeEvent, 0, len(evs))
+	for _, e := range evs {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  string(e.Kind),
+			Ph:   "X",
+			Ts:   float64(e.Start.Microseconds()),
+			Dur:  float64(e.Dur.Microseconds()),
+			Pid:  0,
+			Tid:  e.Rank,
+		}
+		if e.Bytes > 0 || e.Peer >= 0 {
+			ce.Args = map[string]any{}
+			if e.Bytes > 0 {
+				ce.Args["bytes"] = e.Bytes
+			}
+			if e.Peer >= 0 {
+				ce.Args["peer"] = e.Peer
+			}
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// String renders a compact textual timeline, for debugging.
+func (r *Recorder) String() string {
+	s := ""
+	for _, e := range r.Events() {
+		s += fmt.Sprintf("[%8.3fms +%7.3fms] rank %d %-8s %s (%dB)\n",
+			float64(e.Start.Microseconds())/1000, float64(e.Dur.Microseconds())/1000,
+			e.Rank, e.Kind, e.Name, e.Bytes)
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBeginEnd(t *testing.T) {
+	r := NewRecorder()
+	end := r.Begin(2, KindSend, "send->3", 3, 4096)
+	end()
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	e := evs[0]
+	if e.Rank != 2 || e.Kind != KindSend || e.Peer != 3 || e.Bytes != 4096 {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Dur < 0 {
+		t.Error("negative duration")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Begin(0, KindSend, "x", -1, 0)() // must not panic
+	r.Record(Event{})
+	if r.Len() != 0 {
+		t.Error("nil recorder has events")
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 0, Kind: KindCompute, Start: 30 * time.Microsecond})
+	r.Record(Event{Rank: 0, Kind: KindSend, Start: 10 * time.Microsecond})
+	r.Record(Event{Rank: 0, Kind: KindWait, Start: 20 * time.Microsecond})
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for rank := 0; rank < 8; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Begin(rank, KindRecv, "recv", (rank+1)%8, int64(i))()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("events = %d", r.Len())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 1, Kind: KindSend, Dur: time.Millisecond, Bytes: 100})
+	r.Record(Event{Rank: 1, Kind: KindSend, Dur: 2 * time.Millisecond, Bytes: 200})
+	r.Record(Event{Rank: 1, Kind: KindCompute, Dur: 5 * time.Millisecond})
+	r.Record(Event{Rank: 2, Kind: KindSend, Dur: time.Millisecond, Bytes: 50})
+	sum := r.Summary()
+	s1 := sum[1][KindSend]
+	if s1.Count != 2 || s1.Bytes != 300 || s1.Dur != 3*time.Millisecond {
+		t.Errorf("rank 1 send summary: %+v", s1)
+	}
+	if sum[2][KindSend].Bytes != 50 {
+		t.Error("rank 2 summary wrong")
+	}
+	if sum[1][KindCompute].Dur != 5*time.Millisecond {
+		t.Error("compute summary wrong")
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 3, Kind: KindSend, Name: "send->0 tag=5",
+		Start: 100 * time.Microsecond, Dur: 50 * time.Microsecond, Bytes: 4096, Peer: 0})
+	r.Record(Event{Rank: 0, Kind: KindCompute, Name: "stencil",
+		Start: 10 * time.Microsecond, Dur: 90 * time.Microsecond, Peer: -1})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("entries = %d", len(parsed))
+	}
+	// Sorted by start: compute first.
+	if parsed[0]["name"] != "stencil" || parsed[0]["ph"] != "X" {
+		t.Errorf("first entry = %v", parsed[0])
+	}
+	if parsed[1]["tid"].(float64) != 3 {
+		t.Errorf("tid = %v", parsed[1]["tid"])
+	}
+	args := parsed[1]["args"].(map[string]any)
+	if args["bytes"].(float64) != 4096 || args["peer"].(float64) != 0 {
+		t.Errorf("args = %v", args)
+	}
+	// Compute event has no bytes and peer -1: args omitted.
+	if _, ok := parsed[0]["args"]; ok {
+		t.Error("compute event should omit args")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 0, Kind: KindWait, Name: "waitall",
+		Start: time.Millisecond, Dur: 2 * time.Millisecond, Bytes: 64})
+	s := r.String()
+	if !strings.Contains(s, "rank 0") || !strings.Contains(s, "waitall") || !strings.Contains(s, "64B") {
+		t.Errorf("rendering: %q", s)
+	}
+}
