@@ -1,0 +1,32 @@
+# Build and verification targets. CI (.github/workflows/ci.yml) invokes these
+# same targets so local runs and CI are identical.
+
+GO ?= go
+
+.PHONY: all build vet fmt test race bench
+
+all: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (listing the offenders) if any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# -shuffle=on randomizes test order to keep tests order-independent.
+test:
+	$(GO) test -shuffle=on ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark as a smoke test (no unit tests: -run '^$').
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./...

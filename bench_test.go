@@ -350,6 +350,26 @@ func BenchmarkAblation_GhostExpansion(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_WorkerScaling runs the full K1-style harness on a single
+// rank with the per-rank worker count pinned, isolating the end-to-end effect
+// of tiled parallel compute plus comm/compute overlap (ExpandGhost off keeps
+// the exchange period at 1, so the overlapped interior/surface path runs).
+// On a multi-core machine GStencil/s should scale with the worker count; on
+// one core workers=1 and workers=4 coincide.
+func BenchmarkAblation_WorkerScaling(b *testing.B) {
+	for _, im := range []harness.Impl{harness.Layout, harness.MemMap} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers%d", im, workers), func(b *testing.B) {
+				cfg := benchConfig(im, 64, stencil.Star7(), netmodel.ThetaKNL())
+				cfg.Procs = [3]int{1, 1, 1}
+				cfg.ExpandGhost = false
+				cfg.Workers = workers
+				runHarness(b, cfg)
+			})
+		}
+	}
+}
+
 // BenchmarkAblation_ParallelCompute measures the per-rank worker scaling of
 // the brick kernel (bricks as units of parallel work).
 func BenchmarkAblation_ParallelCompute(b *testing.B) {

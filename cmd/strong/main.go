@@ -26,6 +26,7 @@ func main() {
 		brickDim = flag.Int("brick", 8, "brick dimension")
 		machine  = flag.String("machine", "theta-knl", "machine profile")
 		maxRanks = flag.Int("max-ranks", 512, "largest rank count to attempt")
+		workers  = flag.Int("workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 				Warmup:      1,
 				Machine:     mach,
 				ExpandGhost: true,
+				Workers:     *workers,
 			}
 			res, err := harness.Run(cfg)
 			if err != nil {

@@ -65,6 +65,7 @@ func main() {
 		expand   = flag.Bool("expand", true, "use ghost-cell expansion")
 		page     = flag.Int("page", 0, "override page size for MemMap padding (bytes)")
 		traceOut = flag.String("trace", "", "write a Chrome trace JSON of one exchange to this file")
+		workers  = flag.Int("workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -101,6 +102,7 @@ func main() {
 		Machine:     mach,
 		ExpandGhost: *expand,
 		PageBytes:   *page,
+		Workers:     *workers,
 	}
 	res, err := harness.Run(cfg)
 	if err != nil {

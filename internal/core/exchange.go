@@ -177,6 +177,17 @@ func (ev *ExchangeView) NumMessages() int { return len(ev.sends) }
 // Exchange runs one MemMap ghost-zone exchange: one receive per neighbor
 // into the contiguous ghost group, one send per neighbor from the view.
 func (ev *ExchangeView) Exchange() int {
+	n := ev.Begin()
+	ev.End()
+	return n
+}
+
+// Begin posts the receives and sends of one MemMap exchange without waiting,
+// returning the number of sends posted. Callers composing comm/compute
+// overlap compute the interior between Begin and End; only ghost bricks are
+// written and only surface bricks are read while the exchange is in flight,
+// so interior computation is safe to run concurrently.
+func (ev *ExchangeView) Begin() int {
 	e := ev.e
 	chunk := ev.bs.Chunk()
 	// Post receives: ghost group per neighbor is contiguous, so the single
@@ -213,9 +224,11 @@ func (ev *ExchangeView) Exchange() int {
 		e.reqs = append(e.reqs, e.comm.Isend(dst, sv.tag, sv.flat))
 		n++
 	}
-	e.Wait()
 	return n
 }
+
+// End completes the exchange begun by Begin.
+func (ev *ExchangeView) End() { ev.e.Wait() }
 
 // Close releases the views.
 func (ev *ExchangeView) Close() error {

@@ -277,11 +277,11 @@ func TestExchangeMessageCountsOnWire(t *testing.T) {
 				defer ev.Close()
 				ev.Exchange()
 			}
-			if c.SentMessages != tc.want {
-				t.Errorf("rank %d sent %d messages, want %d", c.Rank(), c.SentMessages, tc.want)
+			if c.SentMessages() != tc.want {
+				t.Errorf("rank %d sent %d messages, want %d", c.Rank(), c.SentMessages(), tc.want)
 			}
-			if c.RecvMessages != tc.want {
-				t.Errorf("rank %d received %d messages, want %d", c.Rank(), c.RecvMessages, tc.want)
+			if c.RecvMessages() != tc.want {
+				t.Errorf("rank %d received %d messages, want %d", c.Rank(), c.RecvMessages(), tc.want)
 			}
 		})
 	}

@@ -112,12 +112,12 @@ func TestShiftMessageCountOnWire(t *testing.T) {
 		defer sv.Close()
 		c.ResetCounters()
 		sv.Exchange()
-		if c.SentMessages != 6 {
-			t.Errorf("rank %d sent %d messages, want 6", c.Rank(), c.SentMessages)
+		if c.SentMessages() != 6 {
+			t.Errorf("rank %d sent %d messages, want 6", c.Rank(), c.SentMessages())
 		}
 		// Shift moves strictly more bytes than the ghost volume (forwarded
 		// corner data travels multiple hops) but fewer messages.
-		if c.SentBytes <= 0 {
+		if c.SentBytes() <= 0 {
 			t.Error("no bytes sent")
 		}
 	})

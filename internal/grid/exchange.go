@@ -184,6 +184,15 @@ func NewTypesExchanger(g *Grid, cart *mpi.Cart) *TypesExchanger {
 // datatype engine's element walk, charged as Pack to mirror the artifact's
 // accounting (the application itself performs no packing).
 func (e *TypesExchanger) Exchange(t *PackTimings) {
+	e.Begin(t)
+	e.End(t)
+}
+
+// Begin posts receives, runs the send-side datatype walk into staging
+// buffers, and posts sends. The overlapped pattern computes the interior
+// between Begin and End: in-flight messages touch only the staging buffers,
+// so concurrent interior computation over the grid is safe.
+func (e *TypesExchanger) Begin(t *PackTimings) {
 	start := time.Now()
 	for _, s := range layout.Regions(3) {
 		src := e.rank[s]
@@ -215,8 +224,16 @@ func (e *TypesExchanger) Exchange(t *PackTimings) {
 		e.reqs = append(e.reqs, e.comm.Isend(dst, gridTag(s), e.sbuf[s]))
 	}
 	call += time.Since(start)
+	if t != nil {
+		t.Pack += pack
+		t.Call += call
+	}
+}
 
-	start = time.Now()
+// End waits for completion and runs the receive-side datatype walk into the
+// ghost regions.
+func (e *TypesExchanger) End(t *PackTimings) {
+	start := time.Now()
 	for _, r := range e.rreqs {
 		r.req.Wait()
 	}
@@ -229,12 +246,11 @@ func (e *TypesExchanger) Exchange(t *PackTimings) {
 		dt.Unpack(e.rbuf[r.dir], e.g.Data)
 		e.Elems += int64(dt.Count())
 	}
-	pack += time.Since(start)
+	pack := time.Since(start)
 	e.reqs = e.reqs[:0]
 	e.rreqs = e.rreqs[:0]
 	if t != nil {
 		t.Pack += pack
-		t.Call += call
 		t.Wait += wait
 	}
 }

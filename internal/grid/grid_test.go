@@ -204,8 +204,8 @@ func TestPackExchangeMessageCount(t *testing.T) {
 		e := NewPackExchanger(g, cart)
 		c.ResetCounters()
 		e.Exchange(nil)
-		if c.SentMessages != 26 {
-			t.Errorf("sent %d messages, want 26", c.SentMessages)
+		if c.SentMessages() != 26 {
+			t.Errorf("sent %d messages, want 26", c.SentMessages())
 		}
 	})
 }

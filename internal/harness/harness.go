@@ -121,6 +121,11 @@ type Config struct {
 	// ExpandGhost amortizes exchanges over Ghost/Radius timesteps with
 	// redundant computation (ghost-cell expansion). Ignored for YASKOL.
 	ExpandGhost bool
+	// Workers is the per-rank compute worker count for the stencil kernels
+	// (the rank's "OpenMP team" in the paper's experiments). 0 resolves
+	// from the BRICK_WORKERS environment variable, then GOMAXPROCS; 1
+	// disables intra-rank parallelism.
+	Workers int
 }
 
 func (c Config) ranks() int { return c.Procs[0] * c.Procs[1] * c.Procs[2] }

@@ -105,6 +105,29 @@ func TestGhostExpansionAgrees(t *testing.T) {
 	}
 }
 
+func TestWorkerCountsAgree(t *testing.T) {
+	// Intra-rank parallel compute must not change results bit-for-bit:
+	// every element is written by exactly one worker tile, and the per-
+	// element accumulation order is unchanged by tiling.
+	for _, im := range []Impl{YASK, YASKOL, MPITypes, Basic, Layout, MemMap, Shift, LayoutOL} {
+		serial := baseConfig(im)
+		serial.Workers = 1
+		parallel := baseConfig(im)
+		parallel.Workers = 4
+		a, err := Run(serial)
+		if err != nil {
+			t.Fatalf("%v workers=1: %v", im, err)
+		}
+		b, err := Run(parallel)
+		if err != nil {
+			t.Fatalf("%v workers=4: %v", im, err)
+		}
+		if a.Checksum != b.Checksum {
+			t.Errorf("%v: workers changed checksum %v -> %v", im, a.Checksum, b.Checksum)
+		}
+	}
+}
+
 func TestCube125Agrees(t *testing.T) {
 	var ref float64
 	for i, im := range []Impl{YASK, Layout, MemMap} {

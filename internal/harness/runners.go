@@ -119,32 +119,53 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	marg := margins(cfg)
 	cur := 0
 	comm := cart.Comm()
+	wk := cfg.Workers
+	// Overlap communication with interior computation for every brick
+	// implementation except Shift (its three slab phases are serialized by
+	// corner forwarding), whenever ghosts are refreshed every step. Ghost
+	// expansion steps (period > 1) compute into the ghost margin — the very
+	// region the exchange writes — so they keep the exchange-then-compute
+	// order.
+	overlap := period == 1 && cfg.Impl != Shift
+	// Surface spans of the decomposition, computed after the exchange
+	// completes; the interior span is computed while it is in flight.
+	var surfSpans [][2]int
+	for _, reg := range dec.Order() {
+		if sp := dec.Surface(reg); sp.NBricks > 0 {
+			surfSpans = append(surfSpans, [2]int{sp.Start, sp.End()})
+		}
+	}
 	step := func(s int, timed bool) {
 		comm.Barrier()
 		var call, wait, calc time.Duration
-		if cfg.Impl == LayoutOL {
-			// Overlap: post the exchange, compute interior bricks while it
-			// is in flight, wait, then compute the surface bricks.
-			src := core.NewBrick(info, bs, cur)
-			dst := core.NewBrick(info, bs, 1-cur)
+		src := core.NewBrick(info, bs, cur)
+		dst := core.NewBrick(info, bs, 1-cur)
+		if overlap {
+			// Post the exchange, compute interior bricks while it is in
+			// flight, wait, then compute the surface bricks. In flight the
+			// exchange reads only surface bricks and writes only ghost
+			// bricks, both disjoint from the interior span.
 			t0 := time.Now()
-			ex.PostReceives(bs)
-			ex.PostSends(bs)
+			if cfg.Impl == MemMap {
+				ev.Begin()
+			} else {
+				ex.PostReceives(bs)
+				ex.PostSends(bs)
+			}
 			call = time.Since(t0)
 			t0 = time.Now()
 			inter := dec.Interior()
-			stencil.ApplyBricksRange(dst, src, dec, cfg.Stencil, 0, inter.Start, inter.End())
+			stencil.ApplyBricksRangeWorkers(dst, src, dec, cfg.Stencil, 0, inter.Start, inter.End(), wk)
 			calc = time.Since(t0)
 			t0 = time.Now()
-			ex.Wait()
+			if cfg.Impl == MemMap {
+				ev.End()
+			} else {
+				ex.Wait()
+			}
 			wait = time.Since(t0)
 			t0 = time.Now()
-			for _, reg := range dec.Order() {
-				sp := dec.Surface(reg)
-				if sp.NBricks > 0 {
-					stencil.ApplyBricksRange(dst, src, dec, cfg.Stencil, 0, sp.Start, sp.End())
-				}
-			}
+			stencil.ApplyBricksSpans(dst, src, dec, cfg.Stencil, 0, surfSpans, wk)
 			cur = 1 - cur
 			calc += time.Since(t0)
 			if timed {
@@ -181,9 +202,7 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 		}
 		comm.Barrier() // isolate the exchange phase from computation
 		t0 := time.Now()
-		src := core.NewBrick(info, bs, cur)
-		dst := core.NewBrick(info, bs, 1-cur)
-		stencil.ApplyBricks(dst, src, dec, cfg.Stencil, marg[s%period])
+		stencil.ApplyBricksParallel(dst, src, dec, cfg.Stencil, marg[s%period], wk)
 		cur = 1 - cur
 		calc = time.Since(t0)
 		if timed {
@@ -254,15 +273,26 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	cur := 0
 	comm := cart.Comm()
 	r := cfg.Stencil.Radius
+	wk := cfg.Workers
+	// MPITypes joins YASKOL in overlapping the exchange with interior
+	// computation whenever ghosts are refreshed every step: in-flight
+	// messages touch only the exchanger's staging buffers, so the interior
+	// sweep runs concurrently with the wire transfer. YASK stays serial as
+	// the paper's no-overlap baseline.
+	overlapTypes := cfg.Impl == MPITypes && period == 1
 	step := func(s int, timed bool) {
 		comm.Barrier()
 		var tm grid.PackTimings
 		var calc time.Duration
 		exchange := s%period == 0
 		switch {
-		case cfg.Impl == YASKOL:
+		case cfg.Impl == YASKOL || overlapTypes:
 			if exchange {
-				packEx[cur].Begin(&tm)
+				if cfg.Impl == MPITypes {
+					typeEx[cur].Begin(&tm)
+				} else {
+					packEx[cur].Begin(&tm)
+				}
 			}
 			// Interior (ghost-independent) computation overlaps the wait.
 			t0 := time.Now()
@@ -270,13 +300,17 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			for a := 0; a < 3; a++ {
 				lo[a], hi[a] = cfg.Ghost+r, cfg.Ghost+cfg.Dom[a]-r
 			}
-			stencil.ApplyGridRegion(gs[1-cur], gs[cur], cfg.Stencil, lo, hi)
+			stencil.ApplyGridRegionWorkers(gs[1-cur], gs[cur], cfg.Stencil, lo, hi, wk)
 			calc = time.Since(t0)
 			if exchange {
-				packEx[cur].End(&tm)
+				if cfg.Impl == MPITypes {
+					typeEx[cur].End(&tm)
+				} else {
+					packEx[cur].End(&tm)
+				}
 			}
 			t0 = time.Now()
-			stencil.ApplyGridShell(gs[1-cur], gs[cur], cfg.Stencil, 0, lo, hi)
+			stencil.ApplyGridShellWorkers(gs[1-cur], gs[cur], cfg.Stencil, 0, lo, hi, wk)
 			calc += time.Since(t0)
 		default:
 			if exchange {
@@ -288,7 +322,7 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			}
 			comm.Barrier() // isolate the exchange phase from computation
 			t0 := time.Now()
-			stencil.ApplyGrid(gs[1-cur], gs[cur], cfg.Stencil, marg[s%period])
+			stencil.ApplyGridWorkers(gs[1-cur], gs[cur], cfg.Stencil, marg[s%period], wk)
 			calc = time.Since(t0)
 		}
 		cur = 1 - cur

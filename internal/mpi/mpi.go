@@ -16,6 +16,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/bricklab/brick/internal/trace"
 )
@@ -88,19 +89,19 @@ func (w *World) Run(body func(*Comm)) {
 	}
 }
 
-// Comm is one rank's handle to the world. A Comm is owned by its rank's
-// goroutine; methods must not be called from other goroutines.
+// Comm is one rank's handle to the world. Point-to-point operations
+// (Isend, Irecv, Send, Recv, Request.Wait, Waitall) and the traffic
+// counters are safe for concurrent use from multiple goroutines of the
+// owning rank, so an exchange may be posted or completed while compute
+// workers run (comm/compute overlap). Collectives (Barrier, reductions)
+// remain single-caller: exactly one goroutine per rank at a time.
 type Comm struct {
 	world *World
 	rank  int
 
-	// Traffic counters, reset with ResetCounters. SentMessages/SentBytes
-	// count point-to-point sends initiated by this rank (payload float64s
-	// are counted as 8 bytes each).
-	SentMessages int
-	SentBytes    int64
-	RecvMessages int
-	RecvBytes    int64
+	// Traffic counters, reset with ResetCounters. Sends count point-to-point
+	// messages initiated by this rank (payload float64s are 8 bytes each).
+	sentMsgs, sentBytes, recvMsgs, recvBytes atomic.Int64
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -109,9 +110,25 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
 
+// SentMessages returns the number of point-to-point sends initiated since
+// the last ResetCounters.
+func (c *Comm) SentMessages() int { return int(c.sentMsgs.Load()) }
+
+// SentBytes returns the payload bytes of those sends.
+func (c *Comm) SentBytes() int64 { return c.sentBytes.Load() }
+
+// RecvMessages returns the number of receives completed (counted at Wait).
+func (c *Comm) RecvMessages() int { return int(c.recvMsgs.Load()) }
+
+// RecvBytes returns the payload bytes of those receives.
+func (c *Comm) RecvBytes() int64 { return c.recvBytes.Load() }
+
 // ResetCounters zeroes the traffic counters.
 func (c *Comm) ResetCounters() {
-	c.SentMessages, c.SentBytes, c.RecvMessages, c.RecvBytes = 0, 0, 0, 0
+	c.sentMsgs.Store(0)
+	c.sentBytes.Store(0)
+	c.recvMsgs.Store(0)
+	c.recvBytes.Store(0)
 }
 
 // Request is an in-flight nonblocking operation. Wait blocks until the
@@ -161,8 +178,8 @@ func (c *Comm) Isend(dst, tag int, buf []float64) *Request {
 	if tag < 0 {
 		panic("mpi: send tag must be non-negative")
 	}
-	c.SentMessages++
-	c.SentBytes += int64(8 * len(buf))
+	c.sentMsgs.Add(1)
+	c.sentBytes.Add(int64(8 * len(buf)))
 	if rec := c.world.rec; rec != nil {
 		rec.Begin(c.rank, trace.KindSend, fmt.Sprintf("send->%d tag=%d", dst, tag), dst, int64(8*len(buf)))()
 	}
@@ -243,8 +260,8 @@ func (r *Request) Wait() int {
 	}
 	n := len(r.post.env.data)
 	if r.comm != nil {
-		r.comm.RecvMessages++
-		r.comm.RecvBytes += int64(8 * n)
+		r.comm.recvMsgs.Add(1)
+		r.comm.recvBytes.Add(int64(8 * n))
 	}
 	return n
 }

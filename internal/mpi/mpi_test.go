@@ -228,17 +228,17 @@ func TestCounters(t *testing.T) {
 	w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, make([]float64, 100))
-			if c.SentMessages != 1 || c.SentBytes != 800 {
-				t.Errorf("send counters: %d msgs %d bytes", c.SentMessages, c.SentBytes)
+			if c.SentMessages() != 1 || c.SentBytes() != 800 {
+				t.Errorf("send counters: %d msgs %d bytes", c.SentMessages(), c.SentBytes())
 			}
 			c.ResetCounters()
-			if c.SentMessages != 0 || c.SentBytes != 0 {
+			if c.SentMessages() != 0 || c.SentBytes() != 0 {
 				t.Error("reset failed")
 			}
 		} else {
 			c.Recv(0, 0, make([]float64, 100))
-			if c.RecvMessages != 1 || c.RecvBytes != 800 {
-				t.Errorf("recv counters: %d msgs %d bytes", c.RecvMessages, c.RecvBytes)
+			if c.RecvMessages() != 1 || c.RecvBytes() != 800 {
+				t.Errorf("recv counters: %d msgs %d bytes", c.RecvMessages(), c.RecvBytes())
 			}
 		}
 	})

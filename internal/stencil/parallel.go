@@ -1,57 +1,60 @@
 package stencil
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"github.com/bricklab/brick/internal/core"
 )
 
-// ApplyBricksParallel is ApplyBricks with the brick list divided across
-// worker goroutines (the role of a rank's OpenMP team in the paper's
-// experiments: bricks are independent units of parallel work, so no
-// synchronization is needed within one application). workers <= 0 selects
-// GOMAXPROCS.
+// ApplyBricksParallel is ApplyBricks with an explicit worker count: the
+// brick list is divided into contiguous runs executed by the worker pool
+// (the role of a rank's OpenMP team in the paper's experiments — bricks are
+// independent units of parallel work, so no synchronization is needed
+// within one application). workers <= 0 resolves via ResolveWorkers
+// (BRICK_WORKERS, then GOMAXPROCS); 1 runs serially.
 func ApplyBricksParallel(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin, workers int) {
-	if margin+st.Radius > dec.Ghost() {
-		panic(fmt.Sprintf("stencil: margin %d + radius %d exceeds ghost %d", margin, st.Radius, dec.Ghost()))
+	checkBrickApply(dec, st, margin)
+	DefaultPool().ForRange(workers, dec.NumBricks(), func(lo, hi int) {
+		applyBrickRange(dst, src, dec, st, margin, lo, hi)
+	})
+}
+
+// ApplyBricksRangeWorkers is ApplyBricksRange with an explicit worker
+// count; the [lo, hi) storage-index range is tiled across the pool.
+func ApplyBricksRangeWorkers(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin, lo, hi, workers int) {
+	checkBrickApply(dec, st, margin)
+	if lo < 0 || hi > dec.NumBricks() || lo > hi {
+		panic("stencil: brick range out of bounds")
 	}
-	sh := dec.Shape()
-	for a := 0; a < 3; a++ {
-		if st.Radius > sh[a] {
-			panic("stencil: radius exceeds brick extent")
+	DefaultPool().ForRange(workers, hi-lo, func(a, b int) {
+		applyBrickRange(dst, src, dec, st, margin, lo+a, lo+b)
+	})
+}
+
+// ApplyBricksSpans applies the stencil to each [start, end) span of brick
+// storage indices, flattening all spans into one tiled iteration space so
+// small spans (individual surface regions) still load-balance across the
+// pool. Used by the overlapped step to compute every surface region after
+// the exchange completes.
+func ApplyBricksSpans(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin int, spans [][2]int, workers int) {
+	checkBrickApply(dec, st, margin)
+	total := 0
+	starts := make([]int, len(spans)) // flattened start of each span
+	for i, sp := range spans {
+		if sp[0] < 0 || sp[1] > dec.NumBricks() || sp[0] > sp[1] {
+			panic("stencil: brick span out of bounds")
 		}
+		starts[i] = total
+		total += sp[1] - sp[0]
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := dec.NumBricks()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		ApplyBricks(dst, src, dec, st, margin)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	DefaultPool().ForRange(workers, total, func(flo, fhi int) {
+		for i, sp := range spans {
+			lo := max(flo, starts[i])
+			hi := min(fhi, starts[i]+sp[1]-sp[0])
+			if lo < hi {
+				off := sp[0] - starts[i]
+				applyBrickRange(dst, src, dec, st, margin, lo+off, hi+off)
+			}
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			applyBrickRange(dst, src, dec, st, margin, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // applyBrickRange applies the stencil to bricks with storage indices in

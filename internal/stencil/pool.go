@@ -1,0 +1,147 @@
+package stencil
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the per-rank compute worker pool: a persistent team
+// of goroutines that executes the stencil kernels over contiguous tiles of
+// the iteration space (k-slabs of rows for grids, runs of bricks for brick
+// storage). It plays the role of a rank's OpenMP team in the paper's
+// experiments — without it, only the YASK-OL baseline could hide
+// communication behind computation, because nothing else kept the cores
+// busy during an exchange.
+//
+// Worker-count resolution, in priority order: an explicit positive count,
+// the BRICK_WORKERS environment variable, then GOMAXPROCS. A resolved count
+// of 1 bypasses the pool entirely (zero overhead on single-core hosts).
+
+// WorkersEnv is the environment variable consulted when no explicit worker
+// count is given.
+const WorkersEnv = "BRICK_WORKERS"
+
+// ResolveWorkers resolves a requested worker count: positive values are
+// taken as-is, otherwise BRICK_WORKERS, otherwise GOMAXPROCS.
+func ResolveWorkers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// tilesPerWorker controls tile granularity: each ForRange call splits its
+// iteration space into about this many tiles per worker, so faster workers
+// steal slack from slower ones while tiles stay contiguous (cache-friendly
+// k-slab tiling).
+const tilesPerWorker = 4
+
+// Pool is a persistent team of worker goroutines executing range tiles.
+// All methods are safe for concurrent use: many ranks (goroutines) may
+// share one pool, each running its own ForRange concurrently.
+type Pool struct {
+	workers int
+	tasks   chan func()
+}
+
+// NewPool starts a pool with the given worker count (<= 0 resolves via
+// ResolveWorkers). Call Close to release the worker goroutines.
+func NewPool(workers int) *Pool {
+	w := ResolveWorkers(workers)
+	p := &Pool{workers: w, tasks: make(chan func(), 4*w)}
+	for i := 0; i < w; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the worker goroutines once queued tasks drain. ForRange must
+// not be called after Close.
+func (p *Pool) Close() { close(p.tasks) }
+
+// submit hands a task to an idle pool worker, or spawns a goroutine when
+// the queue is full (callers never block on a busy pool, so a ForRange
+// issued from inside a pool task cannot deadlock).
+func (p *Pool) submit(f func()) {
+	select {
+	case p.tasks <- f:
+	default:
+		go f()
+	}
+}
+
+// ForRange executes fn over [0, n) split into contiguous tiles, with up to
+// `workers` concurrent executors including the caller (workers <= 0
+// resolves via ResolveWorkers). Tiles are handed out dynamically through an
+// atomic cursor, so uneven tiles balance across workers. fn must be safe to
+// call concurrently on disjoint ranges; every index is covered exactly
+// once. With one worker (or n <= 1) fn runs inline: fn(0, n).
+func (p *Pool) ForRange(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := ResolveWorkers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	grain := n / (w * tilesPerWorker)
+	if grain < 1 {
+		grain = 1
+	}
+	var cursor atomic.Int64
+	loop := func() {
+		for {
+			lo := int(cursor.Add(int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 0; i < w-1; i++ {
+		p.submit(func() {
+			defer wg.Done()
+			loop()
+		})
+	}
+	loop()
+	wg.Wait()
+}
+
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *Pool
+)
+
+// DefaultPool returns the shared process-wide pool, created on first use
+// with ResolveWorkers(0) workers. The kernels in this package dispatch
+// through it; it is never closed.
+func DefaultPool() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}

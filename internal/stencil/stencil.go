@@ -122,13 +122,50 @@ func sorted3(a, b, c int) [3]int {
 
 // ApplyGrid applies the stencil to every extended element within margin of
 // the domain, reading src and writing dst (distinct grids of equal shape).
-// margin+Radius must not exceed the ghost width.
+// margin+Radius must not exceed the ghost width. Work is divided over the
+// default worker pool (ResolveWorkers(0) workers).
 func ApplyGrid(dst, src *grid.Grid, st Stencil, margin int) {
+	ApplyGridWorkers(dst, src, st, margin, 0)
+}
+
+// ApplyGridWorkers is ApplyGrid with an explicit worker count (<= 0 resolves
+// via ResolveWorkers: BRICK_WORKERS, then GOMAXPROCS).
+func ApplyGridWorkers(dst, src *grid.Grid, st Stencil, margin, workers int) {
 	if dst.Ext != src.Ext || dst.Ghost != src.Ghost {
 		panic("stencil: grid shape mismatch")
 	}
 	if margin+st.Radius > src.Ghost {
 		panic(fmt.Sprintf("stencil: margin %d + radius %d exceeds ghost %d", margin, st.Radius, src.Ghost))
+	}
+	g := src.Ghost
+	var lo, hi [3]int
+	for a := 0; a < 3; a++ {
+		lo[a], hi[a] = g-margin, g+src.Dom[a]+margin
+	}
+	applyGridBox(dst, src, st, lo, hi, workers)
+}
+
+// ApplyGridRegion applies the stencil over an explicit extended-coordinate
+// box [lo, hi). The caller guarantees the stencil footprint stays inside the
+// extended array. Used by the overlapped implementations to compute the
+// ghost-independent interior while communication is in flight.
+func ApplyGridRegion(dst, src *grid.Grid, st Stencil, lo, hi [3]int) {
+	applyGridBox(dst, src, st, lo, hi, 0)
+}
+
+// ApplyGridRegionWorkers is ApplyGridRegion with an explicit worker count.
+func ApplyGridRegionWorkers(dst, src *grid.Grid, st Stencil, lo, hi [3]int, workers int) {
+	applyGridBox(dst, src, st, lo, hi, workers)
+}
+
+// applyGridBox runs the stencil over the extended box [lo, hi), tiling the
+// (k, j) rows of the box into contiguous slabs across the worker pool. Rows
+// are contiguous in memory along i, so each tile is a cache-friendly sweep;
+// every output element belongs to exactly one tile, so workers never write
+// the same element.
+func applyGridBox(dst, src *grid.Grid, st Stencil, lo, hi [3]int, workers int) {
+	if hi[0] <= lo[0] || hi[1] <= lo[1] || hi[2] <= lo[2] {
+		return
 	}
 	offs := make([]int, len(st.Points))
 	cs := make([]float64, len(st.Points))
@@ -136,15 +173,15 @@ func ApplyGrid(dst, src *grid.Grid, st Stencil, margin int) {
 		offs[p] = (pt.DK*src.Ext[1]+pt.DJ)*src.Ext[0] + pt.DI
 		cs[p] = pt.C
 	}
-	g := src.Ghost
-	var lo, hi [3]int
-	for a := 0; a < 3; a++ {
-		lo[a], hi[a] = g-margin, g+src.Dom[a]+margin
-	}
-	for k := lo[2]; k < hi[2]; k++ {
-		for j := lo[1]; j < hi[1]; j++ {
+	nj := hi[1] - lo[1]
+	rows := (hi[2] - lo[2]) * nj
+	width := hi[0] - lo[0]
+	DefaultPool().ForRange(workers, rows, func(rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			k := lo[2] + r/nj
+			j := lo[1] + r%nj
 			base := src.Idx(lo[0], j, k)
-			for i := base; i < base+hi[0]-lo[0]; i++ {
+			for i := base; i < base+width; i++ {
 				acc := 0.0
 				for p, off := range offs {
 					acc += cs[p] * src.Data[i+off]
@@ -152,36 +189,19 @@ func ApplyGrid(dst, src *grid.Grid, st Stencil, margin int) {
 				dst.Data[i] = acc
 			}
 		}
-	}
-}
-
-// ApplyGridRegion applies the stencil over an explicit extended-coordinate
-// box [lo, hi). The caller guarantees the stencil footprint stays inside the
-// extended array. Used by the overlapped baseline to compute the
-// ghost-independent interior while communication is in flight.
-func ApplyGridRegion(dst, src *grid.Grid, st Stencil, lo, hi [3]int) {
-	offs := make([]int, len(st.Points))
-	for p, pt := range st.Points {
-		offs[p] = (pt.DK*src.Ext[1]+pt.DJ)*src.Ext[0] + pt.DI
-	}
-	for k := lo[2]; k < hi[2]; k++ {
-		for j := lo[1]; j < hi[1]; j++ {
-			base := src.Idx(lo[0], j, k)
-			for i := base; i < base+hi[0]-lo[0]; i++ {
-				acc := 0.0
-				for p, off := range offs {
-					acc += st.Points[p].C * src.Data[i+off]
-				}
-				dst.Data[i] = acc
-			}
-		}
-	}
+	})
 }
 
 // ApplyGridShell applies the stencil over the margin region minus the inner
 // box [skipLo, skipHi) — the boundary completion pass of the overlapped
-// baseline after communication finishes.
+// implementations after communication finishes.
 func ApplyGridShell(dst, src *grid.Grid, st Stencil, margin int, skipLo, skipHi [3]int) {
+	ApplyGridShellWorkers(dst, src, st, margin, skipLo, skipHi, 0)
+}
+
+// ApplyGridShellWorkers is ApplyGridShell with an explicit worker count;
+// each of the six shell slabs is tiled across the pool in turn.
+func ApplyGridShellWorkers(dst, src *grid.Grid, st Stencil, margin int, skipLo, skipHi [3]int, workers int) {
 	if margin+st.Radius > src.Ghost {
 		panic("stencil: margin + radius exceeds ghost")
 	}
@@ -208,7 +228,7 @@ func ApplyGridShell(dst, src *grid.Grid, st Stencil, margin int, skipLo, skipHi 
 			}
 		}
 		if !empty {
-			ApplyGridRegion(dst, src, st, blo, bhi)
+			applyGridBox(dst, src, st, blo, bhi, workers)
 		}
 	}
 }
@@ -218,17 +238,9 @@ func ApplyGridShell(dst, src *grid.Grid, st Stencil, margin int, skipLo, skipHi 
 // brick accessors over the same decomposition (typically two fields of one
 // interleaved storage, so the exchange carries both). margin+Radius must not
 // exceed the ghost width, and Radius must not exceed the brick extents.
+// Bricks are divided over the default worker pool.
 func ApplyBricks(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin int) {
-	if margin+st.Radius > dec.Ghost() {
-		panic(fmt.Sprintf("stencil: margin %d + radius %d exceeds ghost %d", margin, st.Radius, dec.Ghost()))
-	}
-	sh := dec.Shape()
-	for a := 0; a < 3; a++ {
-		if st.Radius > sh[a] {
-			panic("stencil: radius exceeds brick extent")
-		}
-	}
-	applyBrickRange(dst, src, dec, st, margin, 0, dec.NumBricks())
+	ApplyBricksParallel(dst, src, dec, st, margin, 0)
 }
 
 // ApplyBricksRange applies the stencil only to bricks with storage indices
@@ -236,7 +248,13 @@ func ApplyBricks(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin 
 // surface region contiguously, this is the building block for overlapping
 // communication with interior computation: compute Interior() while the
 // exchange is in flight, then the surface spans after it completes.
+// The range is divided over the default worker pool.
 func ApplyBricksRange(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin, lo, hi int) {
+	ApplyBricksRangeWorkers(dst, src, dec, st, margin, lo, hi, 0)
+}
+
+// checkBrickApply validates the shared preconditions of the brick kernels.
+func checkBrickApply(dec *core.BrickDecomp, st Stencil, margin int) {
 	if margin+st.Radius > dec.Ghost() {
 		panic(fmt.Sprintf("stencil: margin %d + radius %d exceeds ghost %d", margin, st.Radius, dec.Ghost()))
 	}
@@ -246,10 +264,6 @@ func ApplyBricksRange(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, ma
 			panic("stencil: radius exceeds brick extent")
 		}
 	}
-	if lo < 0 || hi > dec.NumBricks() || lo > hi {
-		panic("stencil: brick range out of bounds")
-	}
-	applyBrickRange(dst, src, dec, st, margin, lo, hi)
 }
 
 func max(a, b int) int {

@@ -12,7 +12,14 @@ type (
 	StencilPoint = stencil.Point
 )
 
-// Re-exported stencil constructors and kernels.
+// StencilPool is the persistent worker-pool type executing stencil kernels
+// over contiguous tiles (the role of a rank's OpenMP team).
+type StencilPool = stencil.Pool
+
+// Re-exported stencil constructors and kernels. The Apply* kernels divide
+// their iteration space over the default worker pool: worker count resolves
+// from the BRICK_WORKERS environment variable, then GOMAXPROCS, and the
+// *Workers variants take an explicit count (1 = serial).
 var (
 	// Star7 is the paper's 7-point star (low arithmetic intensity).
 	Star7 = stencil.Star7
@@ -23,9 +30,21 @@ var (
 	// ApplyBricks applies a stencil to brick storage with a ghost-cell
 	// expansion margin.
 	ApplyBricks = stencil.ApplyBricks
-	// ApplyBricksParallel divides the bricks across worker goroutines.
+	// ApplyBricksParallel is ApplyBricks with an explicit worker count.
 	ApplyBricksParallel = stencil.ApplyBricksParallel
 	// ApplyBricksRange applies to a contiguous storage index range (the
 	// building block for overlapping communication with interior compute).
 	ApplyBricksRange = stencil.ApplyBricksRange
+	// ApplyBricksRangeWorkers is ApplyBricksRange with an explicit worker
+	// count.
+	ApplyBricksRangeWorkers = stencil.ApplyBricksRangeWorkers
+	// ApplyBricksSpans applies to a set of storage spans (e.g. every
+	// surface region after an overlapped exchange completes).
+	ApplyBricksSpans = stencil.ApplyBricksSpans
+	// NewStencilPool builds a dedicated worker pool; most callers use the
+	// package default instead.
+	NewStencilPool = stencil.NewPool
+	// ResolveStencilWorkers resolves a worker count (explicit >
+	// BRICK_WORKERS > GOMAXPROCS).
+	ResolveStencilWorkers = stencil.ResolveWorkers
 )
