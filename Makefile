@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench
+.PHONY: all build vet fmt test race bench bench-json bench-check
 
 all: build vet fmt test
 
@@ -30,3 +30,39 @@ race:
 # One iteration of every benchmark as a smoke test (no unit tests: -run '^$').
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+# Reference configurations for the machine-readable bench baselines
+# (BENCH_<impl>_<dim>.json, schema brick-bench/v1; see docs/observability.md).
+BENCH_DIR    ?= bench
+BENCH_FLAGS  ?= -d 16 -I 8 -ranks 2,2,2 -workers 1
+BENCH_IMPLS  ?= layout memmap
+
+# bench-json regenerates the committed baselines in $(BENCH_DIR).
+bench-json:
+	@mkdir -p $(BENCH_DIR)
+	@for impl in $(BENCH_IMPLS); do \
+		$(GO) run ./cmd/weak -impl $$impl $(BENCH_FLAGS) -bench-out $(BENCH_DIR) >/dev/null || exit 1; \
+	done
+	@ls $(BENCH_DIR)/BENCH_*.json
+
+# bench-check runs the same configurations into a temp dir and gates them
+# against the committed baselines with obsreport: the message plan must be
+# identical and GStencil/s must not drop by more than BENCH_MAX_DROP.
+# Skips gracefully (per baseline) when no committed baseline exists.
+BENCH_MAX_DROP ?= 0.10
+
+bench-check:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	for impl in $(BENCH_IMPLS); do \
+		$(GO) run ./cmd/weak -impl $$impl $(BENCH_FLAGS) -bench-out $$tmp >/dev/null || exit 1; \
+	done; \
+	status=0; \
+	for new in $$tmp/BENCH_*.json; do \
+		base=$(BENCH_DIR)/$$(basename $$new); \
+		if [ ! -f "$$base" ]; then \
+			echo "bench-check: skip $$(basename $$new) (no committed baseline)"; \
+			continue; \
+		fi; \
+		$(GO) run ./cmd/obsreport -bench-base $$base -bench-new $$new -max-drop $(BENCH_MAX_DROP) || status=1; \
+	done; \
+	exit $$status

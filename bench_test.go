@@ -14,6 +14,7 @@ import (
 	"github.com/bricklab/brick/internal/experiments"
 	"github.com/bricklab/brick/internal/harness"
 	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/netmodel"
 	"github.com/bricklab/brick/internal/stencil"
 )
@@ -368,6 +369,29 @@ func BenchmarkAblation_WorkerScaling(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAblation_MetricsOverhead measures the cost of the observability
+// layer on the WorkerScaling configuration in its three states: absent
+// (Config.Metrics nil — the instrumented paths reduce to pointer checks),
+// disabled-registry attached, and fully enabled. absent vs nil must stay
+// within noise (<2% on GStencil/s); "enabled" shows the recording cost.
+func BenchmarkAblation_MetricsOverhead(b *testing.B) {
+	base := func() harness.Config {
+		cfg := benchConfig(harness.Layout, 64, stencil.Star7(), netmodel.ThetaKNL())
+		cfg.Procs = [3]int{1, 1, 1}
+		cfg.ExpandGhost = false
+		cfg.Workers = 1
+		return cfg
+	}
+	b.Run("absent", func(b *testing.B) {
+		runHarness(b, base())
+	})
+	b.Run("enabled", func(b *testing.B) {
+		cfg := base()
+		cfg.Metrics = metrics.NewRegistry()
+		runHarness(b, cfg)
+	})
 }
 
 // BenchmarkAblation_ParallelCompute measures the per-rank worker scaling of

@@ -1,0 +1,105 @@
+// Command obsreport turns observability artifacts into human-readable
+// reports and CI gates.
+//
+// Critical-path report from a metrics snapshot (written by cmd/strong or
+// cmd/weak with -metrics-out), optionally merged with a Chrome trace for
+// the per-rank longest-chain analysis:
+//
+//	obsreport m.json
+//	obsreport -trace t.json m.json
+//
+// Benchmark regression gate, comparing a fresh BENCH_*.json against a
+// committed baseline and exiting nonzero when GStencil/s dropped by more
+// than -max-drop (or the message plan changed):
+//
+//	obsreport -bench-base bench/BENCH_Layout_16.json -bench-new /tmp/BENCH_Layout_16.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bricklab/brick/internal/bench"
+	"github.com/bricklab/brick/internal/metrics"
+	"github.com/bricklab/brick/internal/obs"
+	"github.com/bricklab/brick/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "Chrome trace JSON to merge into the chain analysis")
+		benchBase = flag.String("bench-base", "", "committed bench baseline (enables gate mode with -bench-new)")
+		benchNew  = flag.String("bench-new", "", "freshly produced bench baseline to gate against -bench-base")
+		maxDrop   = flag.Float64("max-drop", 0.10, "max allowed fractional GStencil/s drop in gate mode")
+	)
+	flag.Parse()
+
+	if (*benchBase == "") != (*benchNew == "") {
+		fmt.Fprintln(os.Stderr, "obsreport: -bench-base and -bench-new must be given together")
+		os.Exit(2)
+	}
+	if *benchBase != "" {
+		gate(*benchBase, *benchNew, *maxDrop)
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: obsreport [-trace t.json] <metrics.json>")
+		fmt.Fprintln(os.Stderr, "       obsreport -bench-base base.json -bench-new new.json [-max-drop 0.10]")
+		os.Exit(2)
+	}
+	report(flag.Arg(0), *tracePath)
+}
+
+// report prints the per-rank critical-path breakdown.
+func report(metricsPath, tracePath string) {
+	snap, err := metrics.LoadSnapshot(metricsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+		os.Exit(1)
+	}
+	var events []trace.Event
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+			os.Exit(1)
+		}
+		events, err = trace.ReadChromeTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	reports := obs.Analyze(snap, events)
+	if len(reports) == 0 {
+		fmt.Fprintln(os.Stderr, "obsreport: no phase histograms in snapshot (was the run instrumented?)")
+		os.Exit(1)
+	}
+	if err := obs.WriteReport(os.Stdout, reports); err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// gate compares two bench baselines and exits nonzero on regression.
+func gate(basePath, newPath string, maxDrop float64) {
+	base, err := bench.Load(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := bench.Load(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.Compare(base, cur, maxDrop); err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("obsreport: PASS: %s dim=%d %.4f → %.4f GStencil/s (gate -%0.f%%)\n",
+		base.Impl, base.Dim, base.GStencils, cur.GStencils, maxDrop*100)
+}

@@ -10,25 +10,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+
 	"github.com/bricklab/brick/internal/cli"
 	"github.com/bricklab/brick/internal/core"
 	"github.com/bricklab/brick/internal/harness"
-	"os"
+	"github.com/bricklab/brick/internal/metrics"
 )
 
 func main() {
 	var (
-		global   = flag.Int("global", 128, "global cubic domain dimension")
-		implList = flag.String("impl", "memmap,yask", "comma-separated implementations")
-		stName   = flag.String("stencil", "7pt", "stencil: 7pt or 125pt")
-		iters    = flag.Int("I", 8, "timed timesteps")
-		ghost    = flag.Int("ghost", 8, "ghost width")
-		brickDim = flag.Int("brick", 8, "brick dimension")
-		machine  = flag.String("machine", "theta-knl", "machine profile")
-		maxRanks = flag.Int("max-ranks", 512, "largest rank count to attempt")
-		workers  = flag.Int("workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
+		global     = flag.Int("global", 128, "global cubic domain dimension")
+		implList   = flag.String("impl", "memmap,yask", "comma-separated implementations")
+		stName     = flag.String("stencil", "7pt", "stencil: 7pt or 125pt")
+		iters      = flag.Int("I", 8, "timed timesteps")
+		ghost      = flag.Int("ghost", 8, "ghost width")
+		brickDim   = flag.Int("brick", 8, "brick dimension")
+		machine    = flag.String("machine", "theta-knl", "machine profile")
+		maxRanks   = flag.Int("max-ranks", 512, "largest rank count to attempt")
+		workers    = flag.Int("workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot JSON (brick-metrics/v1) covering the whole sweep")
+		pprofAddr  = flag.String("pprof-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = metrics.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		addr, err := reg.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "strong: pprof server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "strong: serving metrics and pprof on http://%s\n", addr)
+	}
 
 	st, err := cli.ParseStencil(*stName)
 	if err != nil {
@@ -69,6 +86,7 @@ func main() {
 				Machine:     mach,
 				ExpandGhost: true,
 				Workers:     *workers,
+				Metrics:     reg,
 			}
 			res, err := harness.Run(cfg)
 			if err != nil {
@@ -78,5 +96,12 @@ func main() {
 			fmt.Printf("%-6d %-12s %-10d %-12.4f %-12.4f %-12.4f\n",
 				n, im.String(), dim, res.Comm.Mean()*1e3, res.Calc.Mean()*1e3, res.GStencils)
 		}
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "strong: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "strong: metrics snapshot written to %s (inspect with obsreport)\n", *metricsOut)
 	}
 }

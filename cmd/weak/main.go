@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/bricklab/brick/internal/bench"
 	"github.com/bricklab/brick/internal/cli"
 	"github.com/bricklab/brick/internal/core"
 	"github.com/bricklab/brick/internal/harness"
 	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/mpi"
 	"github.com/bricklab/brick/internal/trace"
 )
@@ -53,19 +55,22 @@ func writeExchangeTrace(cfg harness.Config, path string) error {
 
 func main() {
 	var (
-		implName = flag.String("impl", "layout", "implementation: "+cli.ImplNames())
-		dim      = flag.Int("d", 32, "cubic subdomain dimension per rank (elements)")
-		iters    = flag.Int("I", 16, "timed iterations (timesteps)")
-		warmup   = flag.Int("warmup", 2, "untimed warmup timesteps")
-		ranks    = flag.String("ranks", "2,2,2", "rank grid i,j,k (periodic)")
-		ghost    = flag.Int("ghost", 8, "ghost width (elements)")
-		brickDim = flag.Int("brick", 8, "brick dimension")
-		stName   = flag.String("stencil", "7pt", "stencil: 7pt or 125pt")
-		machine  = flag.String("machine", "theta-knl", "machine profile for the network model")
-		expand   = flag.Bool("expand", true, "use ghost-cell expansion")
-		page     = flag.Int("page", 0, "override page size for MemMap padding (bytes)")
-		traceOut = flag.String("trace", "", "write a Chrome trace JSON of one exchange to this file")
-		workers  = flag.Int("workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
+		implName   = flag.String("impl", "layout", "implementation: "+cli.ImplNames())
+		dim        = flag.Int("d", 32, "cubic subdomain dimension per rank (elements)")
+		iters      = flag.Int("I", 16, "timed iterations (timesteps)")
+		warmup     = flag.Int("warmup", 2, "untimed warmup timesteps")
+		ranks      = flag.String("ranks", "2,2,2", "rank grid i,j,k (periodic)")
+		ghost      = flag.Int("ghost", 8, "ghost width (elements)")
+		brickDim   = flag.Int("brick", 8, "brick dimension")
+		stName     = flag.String("stencil", "7pt", "stencil: 7pt or 125pt")
+		machine    = flag.String("machine", "theta-knl", "machine profile for the network model")
+		expand     = flag.Bool("expand", true, "use ghost-cell expansion")
+		page       = flag.Int("page", 0, "override page size for MemMap padding (bytes)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace JSON of one exchange to this file")
+		workers    = flag.Int("workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot JSON (brick-metrics/v1) to this file")
+		benchOut   = flag.String("bench-out", "", "write a BENCH_<impl>_<dim>.json baseline into this directory")
+		pprofAddr  = flag.String("pprof-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -90,6 +95,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var reg *metrics.Registry
+	if *metricsOut != "" || *benchOut != "" || *pprofAddr != "" {
+		reg = metrics.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		addr, err := reg.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "weak: pprof server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "weak: serving metrics and pprof on http://%s\n", addr)
+	}
+
 	cfg := harness.Config{
 		Impl:        im,
 		Procs:       procs,
@@ -103,11 +121,28 @@ func main() {
 		ExpandGhost: *expand,
 		PageBytes:   *page,
 		Workers:     *workers,
+		Metrics:     reg,
 	}
 	res, err := harness.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "weak: %v\n", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "weak: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "weak: metrics snapshot written to %s (inspect with obsreport)\n", *metricsOut)
+	}
+	if *benchOut != "" {
+		b := bench.FromResult(res, reg.Snapshot())
+		path, err := b.Write(*benchOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "weak: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "weak: bench baseline written to %s\n", path)
 	}
 	if *traceOut != "" {
 		if err := writeExchangeTrace(cfg, *traceOut); err != nil {

@@ -264,7 +264,7 @@ func TestExchangeMessageCountsOnWire(t *testing.T) {
 				bs = d.Allocate()
 			}
 			ex := NewExchanger(d, cart)
-			c.ResetCounters()
+			c.TrafficSnapshot() // drain setup traffic
 			switch tc.kind {
 			case kindLayout:
 				ex.Exchange(bs)
@@ -277,11 +277,12 @@ func TestExchangeMessageCountsOnWire(t *testing.T) {
 				defer ev.Close()
 				ev.Exchange()
 			}
-			if c.SentMessages() != tc.want {
-				t.Errorf("rank %d sent %d messages, want %d", c.Rank(), c.SentMessages(), tc.want)
+			tr := c.TrafficSnapshot()
+			if tr.SentMsgs != int64(tc.want) {
+				t.Errorf("rank %d sent %d messages, want %d", c.Rank(), tr.SentMsgs, tc.want)
 			}
-			if c.RecvMessages() != tc.want {
-				t.Errorf("rank %d received %d messages, want %d", c.Rank(), c.RecvMessages(), tc.want)
+			if tr.RecvMsgs != int64(tc.want) {
+				t.Errorf("rank %d received %d messages, want %d", c.Rank(), tr.RecvMsgs, tc.want)
 			}
 		})
 	}

@@ -110,14 +110,15 @@ func TestShiftMessageCountOnWire(t *testing.T) {
 			return
 		}
 		defer sv.Close()
-		c.ResetCounters()
+		c.TrafficSnapshot() // drain setup traffic
 		sv.Exchange()
-		if c.SentMessages() != 6 {
-			t.Errorf("rank %d sent %d messages, want 6", c.Rank(), c.SentMessages())
+		tr := c.TrafficSnapshot()
+		if tr.SentMsgs != 6 {
+			t.Errorf("rank %d sent %d messages, want 6", c.Rank(), tr.SentMsgs)
 		}
 		// Shift moves strictly more bytes than the ghost volume (forwarded
 		// corner data travels multiple hops) but fewer messages.
-		if c.SentBytes() <= 0 {
+		if tr.SentBytes <= 0 {
 			t.Error("no bytes sent")
 		}
 	})

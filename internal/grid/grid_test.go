@@ -202,10 +202,10 @@ func TestPackExchangeMessageCount(t *testing.T) {
 		cart := mpi.NewCart(c, []int{2, 2, 2}, []bool{true, true, true})
 		g := New([3]int{8, 8, 8}, 2)
 		e := NewPackExchanger(g, cart)
-		c.ResetCounters()
+		c.TrafficSnapshot() // drain setup traffic
 		e.Exchange(nil)
-		if c.SentMessages() != 26 {
-			t.Errorf("sent %d messages, want 26", c.SentMessages())
+		if tr := c.TrafficSnapshot(); tr.SentMsgs != 26 {
+			t.Errorf("sent %d messages, want 26", tr.SentMsgs)
 		}
 	})
 }

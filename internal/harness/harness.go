@@ -7,11 +7,13 @@ package harness
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/bricklab/brick/internal/core"
 	"github.com/bricklab/brick/internal/gpu"
 	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/mpi"
 	"github.com/bricklab/brick/internal/netmodel"
 	"github.com/bricklab/brick/internal/stats"
@@ -126,6 +128,13 @@ type Config struct {
 	// from the BRICK_WORKERS environment variable, then GOMAXPROCS; 1
 	// disables intra-rank parallelism.
 	Workers int
+	// Metrics, when non-nil, receives the run's full observability stream:
+	// per-step phase histograms (impl/rank/phase labels plus a rank="all"
+	// aggregate), per-message mpi latency/size/match-wait histograms,
+	// worker-pool tile metrics, and end-of-run traffic counters and
+	// throughput gauges. Nil (the default) disables all recording; the
+	// instrumented paths then cost only pointer checks.
+	Metrics *metrics.Registry
 }
 
 func (c Config) ranks() int { return c.Procs[0] * c.Procs[1] * c.Procs[2] }
@@ -211,6 +220,74 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Phase label values of the brick_phase_seconds histogram family.
+const (
+	PhaseCalc = "calc"
+	PhasePack = "pack"
+	PhaseCall = "call"
+	PhaseWait = "wait"
+)
+
+// phasePair is one phase's histogram series, recorded twice: under the
+// rank's own label and under the rank="all" cross-rank aggregate (which
+// gives consumers exact whole-run percentiles without merging buckets).
+type phasePair struct {
+	rank, all *metrics.Histogram
+}
+
+func (pp phasePair) observe(d time.Duration) {
+	s := d.Seconds()
+	pp.rank.Observe(s)
+	pp.all.Observe(s)
+}
+
+// phaseObs caches one rank's per-phase histogram series. A nil observer
+// (metrics disabled) is valid and records nothing.
+type phaseObs struct {
+	calc, pack, call, wait phasePair
+}
+
+func newPhaseObs(reg *metrics.Registry, im Impl, rank int) *phaseObs {
+	if reg == nil {
+		return nil
+	}
+	pair := func(phase string) phasePair {
+		impl := im.String()
+		return phasePair{
+			rank: reg.Histogram(metrics.PhaseSeconds, metrics.Labels{
+				"impl": impl, "rank": strconv.Itoa(rank), "phase": phase}),
+			all: reg.Histogram(metrics.PhaseSeconds, metrics.Labels{
+				"impl": impl, "rank": "all", "phase": phase}),
+		}
+	}
+	return &phaseObs{
+		calc: pair(PhaseCalc), pack: pair(PhasePack),
+		call: pair(PhaseCall), wait: pair(PhaseWait),
+	}
+}
+
+// observeStep records one timed timestep's phase breakdown.
+func (po *phaseObs) observeStep(calc, pack, call, wait time.Duration) {
+	if po == nil {
+		return
+	}
+	po.calc.observe(calc)
+	po.pack.observe(pack)
+	po.call.observe(call)
+	po.wait.observe(wait)
+}
+
+// describeMetrics registers the help text of every harness-level family.
+func describeMetrics(reg *metrics.Registry) {
+	reg.Describe(metrics.PhaseSeconds, "Per-timestep phase durations (seconds); phase=calc|pack|call|wait, rank=\"all\" aggregates across ranks.")
+	reg.Describe(metrics.GStencilsGauge, "End-of-run throughput in GStencil/s.")
+	reg.Describe(metrics.MsgsPerExchangeGauge, "Messages each rank sends per exchange.")
+	reg.Describe(metrics.MPISentMsgsTotal, "Point-to-point sends initiated, from Comm.TrafficSnapshot.")
+	reg.Describe(metrics.MPISentBytesTotal, "Payload bytes of initiated sends.")
+	reg.Describe(metrics.MPIRecvMsgsTotal, "Receives completed at Wait.")
+	reg.Describe(metrics.MPIRecvBytesTotal, "Payload bytes of completed receives.")
+}
+
 // Run executes the experiment and returns aggregated metrics.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -220,6 +297,15 @@ func Run(cfg Config) (Result, error) {
 	perRank := make([]Result, n)
 	errs := make([]error, n)
 	w := mpi.NewWorld(n)
+	if cfg.Metrics != nil {
+		describeMetrics(cfg.Metrics)
+		w.SetMetrics(cfg.Metrics)
+		// The process-wide pool serves every rank's kernels; attach for the
+		// duration of this run so tile time and queue depth are visible,
+		// then detach so later uninstrumented runs pay nothing.
+		stencil.DefaultPool().SetMetrics(cfg.Metrics)
+		defer stencil.DefaultPool().SetMetrics(nil)
+	}
 	w.Run(func(c *mpi.Comm) {
 		cart := mpi.NewCart(c, []int{cfg.Procs[2], cfg.Procs[1], cfg.Procs[0]}, []bool{true, true, true})
 		var r Result
@@ -233,6 +319,16 @@ func Run(cfg Config) (Result, error) {
 		}
 		// Global checksum over ranks.
 		r.Checksum = c.Allreduce1(mpi.OpSum, r.Checksum)
+		if reg := cfg.Metrics; reg != nil {
+			// Mirror the drained traffic counters into the registry so the
+			// snapshot carries per-rank message/byte counts.
+			tr := c.TrafficSnapshot()
+			lb := metrics.Labels{"impl": cfg.Impl.String(), "rank": strconv.Itoa(c.Rank())}
+			reg.Counter(metrics.MPISentMsgsTotal, lb).Add(tr.SentMsgs)
+			reg.Counter(metrics.MPISentBytesTotal, lb).Add(tr.SentBytes)
+			reg.Counter(metrics.MPIRecvMsgsTotal, lb).Add(tr.RecvMsgs)
+			reg.Counter(metrics.MPIRecvBytesTotal, lb).Add(tr.RecvBytes)
+		}
 		perRank[c.Rank()] = r
 		errs[c.Rank()] = err
 	})
@@ -254,6 +350,11 @@ func Run(cfg Config) (Result, error) {
 	globalPoints := float64(cfg.Dom[0]*cfg.Procs[0]) * float64(cfg.Dom[1]*cfg.Procs[1]) * float64(cfg.Dom[2]*cfg.Procs[2])
 	if step := out.StepSeconds(); step > 0 {
 		out.GStencils = globalPoints / step / 1e9
+	}
+	if reg := cfg.Metrics; reg != nil {
+		lb := metrics.Labels{"impl": cfg.Impl.String()}
+		reg.Gauge(metrics.GStencilsGauge, lb).Set(out.GStencils)
+		reg.Gauge(metrics.MsgsPerExchangeGauge, lb).Set(float64(out.MsgsPerExchange))
 	}
 	return out, nil
 }

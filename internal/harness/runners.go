@@ -119,6 +119,7 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	marg := margins(cfg)
 	cur := 0
 	comm := cart.Comm()
+	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
 	wk := cfg.Workers
 	// Overlap communication with interior computation for every brick
 	// implementation except Shift (its three slab phases are serialized by
@@ -176,6 +177,7 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 				res.Comm.AddDuration(call + wait)
 				res.Network.Add(netPerExchange)
 				res.CommSynth.Add(netPerExchange)
+				po.observeStep(calc, 0, call, wait)
 			}
 			return
 		}
@@ -217,6 +219,7 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			}
 			res.Network.Add(net)
 			res.CommSynth.Add(net) // pack-free: no on-node movement
+			po.observeStep(calc, 0, call, wait)
 		}
 	}
 	for s := 0; s < cfg.Warmup; s++ {
@@ -272,6 +275,7 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	marg := margins(cfg)
 	cur := 0
 	comm := cart.Comm()
+	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
 	r := cfg.Stencil.Radius
 	wk := cfg.Workers
 	// MPITypes joins YASKOL in overlapping the exchange with interior
@@ -338,6 +342,7 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			}
 			res.Network.Add(net)
 			res.CommSynth.Add(tm.Pack.Seconds() + net)
+			po.observeStep(calc, tm.Pack, tm.Call, tm.Wait)
 		}
 	}
 	for s := 0; s < cfg.Warmup; s++ {
@@ -394,6 +399,7 @@ func runGPURank(cfg Config, cart *mpi.Cart) (Result, error) {
 	period := cfg.exchangePeriod()
 	marg := margins(cfg)
 	comm := cart.Comm()
+	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
 	step := func(s int, timed bool) {
 		comm.Barrier()
 		var cc gpu.CommCost
@@ -402,6 +408,7 @@ func runGPURank(cfg Config, cart *mpi.Cart) (Result, error) {
 		}
 		calc := sim.Compute(marg[s%period])
 		if timed {
+			po.observeStep(calc, cc.Fault+cc.Engine, 0, cc.Link)
 			res.Calc.AddDuration(calc)
 			res.Pack.AddDuration(cc.Fault + cc.Engine)
 			res.Call.Add(0)

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: logarithmic base-2 buckets spanning one
+// nanosecond-ish to ~17 minutes when observations are seconds (the unit is
+// up to the caller; buckets are pure powers of two). Bucket i (1 <= i <=
+// histBuckets-2) covers (2^(histMinExp+i-2), 2^(histMinExp+i-1)]; bucket 0
+// is the underflow bucket (<= 2^(histMinExp-1), including zero and negative
+// observations) and the last bucket is the overflow (+Inf) bucket.
+const (
+	histMinExp  = -30 // smallest finite upper bound is 2^-30 ≈ 0.93ns
+	histMaxExp  = 10  // largest finite upper bound is 2^10 = 1024s
+	histBuckets = histMaxExp - histMinExp + 3
+)
+
+// Histogram is a fixed-layout log2-bucketed distribution with streaming
+// sum/min/max, built for latency and size observations. Observe is
+// lock-free; quantiles are estimated by geometric interpolation inside the
+// containing bucket and clamped to the exact observed [min, max]. All
+// methods are safe for concurrent use and no-ops on a nil receiver.
+type Histogram struct {
+	name   string
+	labels Labels
+
+	counts  [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	minBits atomic.Uint64 // float64 bits; +Inf until first observation
+	maxBits atomic.Uint64 // float64 bits; -Inf until first observation
+}
+
+func newHistogram(name string, labels Labels) *Histogram {
+	h := &Histogram{name: name, labels: labels}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i; the last
+// bucket's bound is +Inf.
+func bucketUpper(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i-1)
+}
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v float64) int {
+	if v <= bucketUpper(0) || math.IsNaN(v) {
+		return 0
+	}
+	// v = frac × 2^exp with frac in [0.5, 1), so v ∈ (2^(exp-1), 2^exp]
+	// modulo the frac==0.5 boundary, which Frexp maps to the lower bucket's
+	// open end — nudge exact powers of two down into their closed bucket.
+	_, exp := math.Frexp(v)
+	if math.Ldexp(1, exp-1) == v {
+		exp--
+	}
+	i := exp - histMinExp + 1
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v {
+			break
+		}
+		if h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observation, or 0 with none.
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts:
+// it finds the bucket containing the target rank and interpolates linearly
+// within the bucket's bounds, then clamps to the exact observed [min, max]
+// so single-value and single-bucket distributions report exactly.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min() // exact endpoints: the extremes are tracked directly
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	est := h.Max()
+	for i := 0; i < histBuckets; i++ {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = bucketUpper(i - 1)
+			}
+			hi := bucketUpper(i)
+			if math.IsInf(hi, 1) {
+				hi = h.Max()
+			}
+			frac := (target - float64(cum)) / float64(n)
+			est = lo + (hi-lo)*frac
+			break
+		}
+		cum += n
+	}
+	if mn := h.Min(); est < mn {
+		est = mn
+	}
+	if mx := h.Max(); est > mx {
+		est = mx
+	}
+	return est
+}
+
+// buckets returns the non-cumulative per-bucket counts.
+func (h *Histogram) buckets() [histBuckets]uint64 {
+	var out [histBuckets]uint64
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package metrics
+
+// Well-known metric names shared by the instrumented layers (mpi, stencil,
+// harness) and the consumers (cmd/obsreport, internal/bench, the Prometheus
+// endpoint). Label conventions are documented in docs/observability.md:
+//
+//	impl   exchange implementation (harness.Impl.String()); the per-phase
+//	       family also carries rank="all" aggregate series per impl
+//	rank   MPI rank id, or "all" for the cross-rank aggregate
+//	phase  calc | pack | call | wait
+const (
+	// PhaseSeconds: histogram of per-timestep phase durations
+	// (labels: impl, rank, phase).
+	PhaseSeconds = "brick_phase_seconds"
+	// GStencilsGauge: end-of-run throughput in GStencil/s (labels: impl).
+	GStencilsGauge = "brick_gstencils"
+	// MsgsPerExchangeGauge: messages each rank sends per exchange
+	// (labels: impl).
+	MsgsPerExchangeGauge = "brick_msgs_per_exchange"
+
+	// MPISendSeconds: histogram of per-message latency from Isend post to
+	// delivery into the matched receive buffer (labels: rank).
+	MPISendSeconds = "mpi_send_seconds"
+	// MPISendBytes: histogram of per-message payload sizes at Isend
+	// (labels: rank).
+	MPISendBytes = "mpi_send_bytes"
+	// MPIRecvMatchWaitSeconds: histogram of posted-receive match wait — the
+	// time a posted Irecv waited before a send matched and delivered
+	// (labels: rank).
+	MPIRecvMatchWaitSeconds = "mpi_recv_match_wait_seconds"
+	// MPIRecvBytes: histogram of delivered payload sizes (labels: rank).
+	MPIRecvBytes = "mpi_recv_bytes"
+	// MPIWaitSeconds: histogram of time blocked in Request.Wait
+	// (labels: rank).
+	MPIWaitSeconds = "mpi_wait_seconds"
+	// MPISentMsgsTotal/...: traffic counters mirrored from
+	// Comm.TrafficSnapshot at the end of a harness run
+	// (labels: impl, rank).
+	MPISentMsgsTotal  = "mpi_sent_messages_total"
+	MPISentBytesTotal = "mpi_sent_bytes_total"
+	MPIRecvMsgsTotal  = "mpi_received_messages_total"
+	MPIRecvBytesTotal = "mpi_received_bytes_total"
+
+	// StencilTileSeconds: histogram of per-tile kernel execution time in
+	// the worker pool (no labels; the pool is process-wide).
+	StencilTileSeconds = "stencil_tile_seconds"
+	// PoolQueueDepth: gauge of tasks queued to the pool at submit time.
+	PoolQueueDepth = "stencil_pool_queue_depth"
+	// PoolTilesTotal: counter of tiles executed by the pool.
+	PoolTilesTotal = "stencil_pool_tiles_total"
+	// PoolBusySeconds: gauge accumulating total worker busy time; divided
+	// by workers × wall time it gives pool utilization.
+	PoolBusySeconds = "stencil_pool_busy_seconds_total"
+	// PoolWorkers: gauge of the pool's worker count.
+	PoolWorkers = "stencil_pool_workers"
+)

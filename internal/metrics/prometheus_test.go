@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Prometheus exposition golden file")
+
+// goldenRegistry builds a registry with fixed contents covering every
+// instrument kind, label rendering, help text, and histogram bucketing.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Describe("brick_phase_seconds", "Per-timestep phase durations.")
+	r.Describe("mpi_sent_messages_total", "Point-to-point sends initiated.")
+	r.Counter("mpi_sent_messages_total", Labels{"impl": "Layout", "rank": "0"}).Add(42)
+	r.Counter("mpi_sent_messages_total", Labels{"impl": "Layout", "rank": "1"}).Add(42)
+	r.Gauge("stencil_pool_queue_depth", nil).Set(3)
+	h := r.Histogram("brick_phase_seconds", Labels{"impl": "Layout", "phase": "wait", "rank": "0"})
+	h.Observe(0.001)
+	h.Observe(0.001)
+	h.Observe(0.015)
+	h.Observe(3.5)
+	return r
+}
+
+// TestPrometheusGolden locks the exposition format against
+// testdata/exposition.golden. Regenerate with: go test ./internal/metrics
+// -run TestPrometheusGolden -update-golden
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusDeterministic: two expositions of the same registry are
+// byte-identical (map iteration must not leak into the output).
+func TestPrometheusDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("exposition is not deterministic")
+	}
+}
+
+// TestHandlerEndpoints drives the debug mux: Prometheus, JSON, expvar, and
+// the pprof index must all respond.
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics":            "mpi_sent_messages_total",
+		"/metrics.json":       SnapshotSchema,
+		"/debug/vars":         "brick_metrics",
+		"/debug/pprof/":       "goroutine",
+		"/debug/pprof/symbol": "",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body missing %q", path, want)
+		}
+	}
+}

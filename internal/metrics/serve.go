@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar publication (expvar.Publish
+// panics on duplicate names).
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarReg  *Registry
+)
+
+// publishExpvar exposes the registry snapshot as the expvar "brick_metrics"
+// so it appears on /debug/vars alongside the runtime's memstats.
+func publishExpvar(reg *Registry) {
+	expvarMu.Lock()
+	expvarReg = reg
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("brick_metrics", expvar.Func(func() any {
+			expvarMu.Lock()
+			r := expvarReg
+			expvarMu.Unlock()
+			return r.Snapshot()
+		}))
+	})
+}
+
+// Handler returns an http.Handler serving this registry's exposition
+// endpoints plus the standard Go profiling surface:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot (the -metrics-out schema)
+//	/debug/vars    expvar (includes brick_metrics)
+//	/debug/pprof/  CPU, heap, goroutine, ... profiles
+func (r *Registry) Handler() http.Handler {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug HTTP server on addr (e.g. "localhost:6060") in a
+// background goroutine and returns the bound listener address. The server
+// lives until the process exits; harness binaries start it behind the
+// -pprof-addr flag so long runs can be profiled and scraped live.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

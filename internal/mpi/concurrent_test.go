@@ -59,26 +59,31 @@ func TestConcurrentPointToPoint(t *testing.T) {
 				}
 			}
 		}
-		if got, want := c.SentMessages(), posters*perGo; got != want {
+		tr := c.TrafficSnapshot()
+		if got, want := tr.SentMsgs, int64(posters*perGo); got != want {
 			t.Errorf("rank %d sent %d messages, want %d", c.Rank(), got, want)
 		}
-		if got, want := c.RecvMessages(), posters*perGo; got != want {
+		if got, want := tr.RecvMsgs, int64(posters*perGo); got != want {
 			t.Errorf("rank %d received %d messages, want %d", c.Rank(), got, want)
 		}
-		if got, want := c.SentBytes(), int64(8*elements*posters*perGo); got != want {
+		if got, want := tr.SentBytes, int64(8*elements*posters*perGo); got != want {
 			t.Errorf("rank %d sent %d bytes, want %d", c.Rank(), got, want)
 		}
 	})
 }
 
-// TestConcurrentCountersReset checks ResetCounters is safe against in-flight
-// traffic from another goroutine (no torn reads under -race).
-func TestConcurrentCountersReset(t *testing.T) {
+// TestConcurrentTrafficSnapshot checks the snapshot-and-reset API is
+// lossless against in-flight traffic: snapshots taken while another
+// goroutine is sending must partition the counts — every message lands in
+// exactly one snapshot, none are dropped by the reset (the race the old
+// read-getters-then-ResetCounters pattern had).
+func TestConcurrentTrafficSnapshot(t *testing.T) {
+	const msgs = 256
 	w := NewWorld(2)
 	w.Run(func(c *Comm) {
 		if c.Rank() == 1 {
 			buf := make([]float64, 8)
-			for m := 0; m < 32; m++ {
+			for m := 0; m < msgs; m++ {
 				c.Recv(0, m, buf)
 			}
 			return
@@ -86,18 +91,26 @@ func TestConcurrentCountersReset(t *testing.T) {
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			for m := 0; m < 32; m++ {
+			for m := 0; m < msgs; m++ {
 				c.Send(1, m, make([]float64, 8))
 			}
 		}()
+		var total Traffic
+		add := func(tr Traffic) {
+			total.SentMsgs += tr.SentMsgs
+			total.SentBytes += tr.SentBytes
+		}
 		for i := 0; i < 100; i++ {
-			_ = c.SentMessages()
-			_ = c.SentBytes()
+			add(c.TrafficSnapshot()) // drain concurrently with the sender
 		}
 		<-done
-		c.ResetCounters()
-		if c.SentMessages() != 0 || c.SentBytes() != 0 {
-			t.Error("counters not reset")
+		add(c.TrafficSnapshot())
+		if total.SentMsgs != msgs || total.SentBytes != 8*8*msgs {
+			t.Errorf("snapshots lost traffic: %d msgs %d bytes, want %d/%d",
+				total.SentMsgs, total.SentBytes, msgs, 8*8*msgs)
+		}
+		if tr := c.TrafficSnapshot(); tr != (Traffic{}) {
+			t.Errorf("counters not drained: %+v", tr)
 		}
 	})
 }

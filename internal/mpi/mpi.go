@@ -15,9 +15,12 @@ package mpi
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/trace"
 )
 
@@ -38,12 +41,50 @@ type World struct {
 	red    reducer
 	gather gatherBuf
 	rec    *trace.Recorder
+	reg    *metrics.Registry
 }
 
 // SetTrace attaches an event recorder; every Isend/Irecv posting and Wait
 // interval is recorded on it. Call before Run. A nil recorder disables
 // tracing (the default).
 func (w *World) SetTrace(rec *trace.Recorder) { w.rec = rec }
+
+// SetMetrics attaches a metrics registry; every rank records per-message
+// send/recv latency and size histograms and posted-receive match wait time
+// on it. Call before Run. A nil registry disables recording (the default)
+// at the cost of a single pointer check per operation.
+func (w *World) SetMetrics(reg *metrics.Registry) {
+	w.reg = reg
+	if reg == nil {
+		return
+	}
+	reg.Describe(metrics.MPISendSeconds, "Per-message latency from Isend post to delivery (seconds).")
+	reg.Describe(metrics.MPISendBytes, "Per-message payload size at Isend (bytes).")
+	reg.Describe(metrics.MPIRecvMatchWaitSeconds, "Time a posted receive waited before a send matched (seconds).")
+	reg.Describe(metrics.MPIRecvBytes, "Delivered payload size per receive (bytes).")
+	reg.Describe(metrics.MPIWaitSeconds, "Time blocked in Request.Wait (seconds).")
+}
+
+// commMetrics caches one rank's histogram series so the per-message hot
+// path never touches the registry lock.
+type commMetrics struct {
+	sendSeconds   *metrics.Histogram
+	sendBytes     *metrics.Histogram
+	recvMatchWait *metrics.Histogram
+	recvBytes     *metrics.Histogram
+	waitSeconds   *metrics.Histogram
+}
+
+func newCommMetrics(reg *metrics.Registry, rank int) *commMetrics {
+	lb := metrics.Labels{"rank": strconv.Itoa(rank)}
+	return &commMetrics{
+		sendSeconds:   reg.Histogram(metrics.MPISendSeconds, lb),
+		sendBytes:     reg.Histogram(metrics.MPISendBytes, lb),
+		recvMatchWait: reg.Histogram(metrics.MPIRecvMatchWaitSeconds, lb),
+		recvBytes:     reg.Histogram(metrics.MPIRecvBytes, lb),
+		waitSeconds:   reg.Histogram(metrics.MPIWaitSeconds, lb),
+	}
+}
 
 // NewWorld creates a world with the given number of ranks.
 func NewWorld(size int) *World {
@@ -78,7 +119,11 @@ func (w *World) Run(body func(*Comm)) {
 					panics[rank] = p
 				}
 			}()
-			body(&Comm{world: w, rank: rank})
+			c := &Comm{world: w, rank: rank}
+			if w.reg != nil {
+				c.m = newCommMetrics(w.reg, rank)
+			}
+			body(c)
 		}(r)
 	}
 	wg.Wait()
@@ -98,9 +143,11 @@ func (w *World) Run(body func(*Comm)) {
 type Comm struct {
 	world *World
 	rank  int
+	m     *commMetrics // nil unless World.SetMetrics was called
 
-	// Traffic counters, reset with ResetCounters. Sends count point-to-point
-	// messages initiated by this rank (payload float64s are 8 bytes each).
+	// Traffic counters, drained with TrafficSnapshot. Sends count
+	// point-to-point messages initiated by this rank (payload float64s are
+	// 8 bytes each).
 	sentMsgs, sentBytes, recvMsgs, recvBytes atomic.Int64
 }
 
@@ -110,26 +157,58 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
 
+// Traffic is one rank's point-to-point traffic since the previous
+// TrafficSnapshot (or the start of the run). Sends are counted at Isend,
+// receives at Wait; payload float64s are 8 bytes each.
+type Traffic struct {
+	SentMsgs  int64
+	SentBytes int64
+	RecvMsgs  int64
+	RecvBytes int64
+}
+
+// TrafficSnapshot atomically drains the traffic counters, returning the
+// counts accumulated since the previous snapshot. Each counter is
+// read-and-zeroed in a single atomic swap, so unlike the deprecated
+// read-getters-then-ResetCounters pattern, increments from concurrently
+// in-flight operations are never lost — every count lands in exactly one
+// snapshot.
+func (c *Comm) TrafficSnapshot() Traffic {
+	return Traffic{
+		SentMsgs:  c.sentMsgs.Swap(0),
+		SentBytes: c.sentBytes.Swap(0),
+		RecvMsgs:  c.recvMsgs.Swap(0),
+		RecvBytes: c.recvBytes.Swap(0),
+	}
+}
+
 // SentMessages returns the number of point-to-point sends initiated since
-// the last ResetCounters.
+// the last snapshot or reset.
+//
+// Deprecated: use TrafficSnapshot — reading individual getters and then
+// resetting loses counts from concurrently in-flight operations.
 func (c *Comm) SentMessages() int { return int(c.sentMsgs.Load()) }
 
 // SentBytes returns the payload bytes of those sends.
+//
+// Deprecated: use TrafficSnapshot.
 func (c *Comm) SentBytes() int64 { return c.sentBytes.Load() }
 
 // RecvMessages returns the number of receives completed (counted at Wait).
+//
+// Deprecated: use TrafficSnapshot.
 func (c *Comm) RecvMessages() int { return int(c.recvMsgs.Load()) }
 
 // RecvBytes returns the payload bytes of those receives.
+//
+// Deprecated: use TrafficSnapshot.
 func (c *Comm) RecvBytes() int64 { return c.recvBytes.Load() }
 
 // ResetCounters zeroes the traffic counters.
-func (c *Comm) ResetCounters() {
-	c.sentMsgs.Store(0)
-	c.sentBytes.Store(0)
-	c.recvMsgs.Store(0)
-	c.recvBytes.Store(0)
-}
+//
+// Deprecated: use TrafficSnapshot — the four stores are not atomic as a
+// group, so a reset racing an in-flight exchange can drop its counts.
+func (c *Comm) ResetCounters() { c.TrafficSnapshot() }
 
 // Request is an in-flight nonblocking operation. Wait blocks until the
 // transfer completed; for receives it then reports the element count.
@@ -145,6 +224,8 @@ type envelope struct {
 	src, tag int
 	data     []float64
 	done     chan struct{}
+	post     time.Time    // when Isend posted; zero unless m != nil
+	m        *commMetrics // sender's metrics, nil when disabled
 }
 
 // posted is a receive awaiting a matching send.
@@ -152,7 +233,9 @@ type posted struct {
 	src, tag int
 	buf      []float64
 	done     chan struct{}
-	env      *envelope // set at match time, before done is closed
+	env      *envelope    // set at match time, before done is closed
+	post     time.Time    // when Irecv posted; zero unless m != nil
+	m        *commMetrics // receiver's metrics, nil when disabled
 }
 
 // inbox holds unmatched arrivals and unmatched posted receives for one rank.
@@ -184,6 +267,10 @@ func (c *Comm) Isend(dst, tag int, buf []float64) *Request {
 		rec.Begin(c.rank, trace.KindSend, fmt.Sprintf("send->%d tag=%d", dst, tag), dst, int64(8*len(buf)))()
 	}
 	env := &envelope{src: c.rank, tag: tag, data: buf, done: make(chan struct{})}
+	if c.m != nil {
+		env.post, env.m = time.Now(), c.m
+		c.m.sendBytes.Observe(float64(8 * len(buf)))
+	}
 	box := c.world.boxes[dst]
 	box.mu.Lock()
 	for i, p := range box.recvs {
@@ -210,6 +297,9 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 		rec.Begin(c.rank, trace.KindRecv, fmt.Sprintf("recv<-%d tag=%d", src, tag), src, int64(8*len(buf)))()
 	}
 	p := &posted{src: src, tag: tag, buf: buf, done: make(chan struct{})}
+	if c.m != nil {
+		p.post, p.m = time.Now(), c.m
+	}
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
 	for i, env := range box.sends {
@@ -234,9 +324,17 @@ func deliver(env *envelope, p *posted) {
 		// Truncate like MPI_ERR_TRUNCATE, but complete both sides first so
 		// peer ranks unblock, then abort the job via panic (propagated by
 		// World.Run).
-		env = &envelope{src: env.src, tag: env.tag, data: env.data[:len(p.buf)], done: env.done}
+		env = &envelope{src: env.src, tag: env.tag, data: env.data[:len(p.buf)], done: env.done,
+			post: env.post, m: env.m}
 	}
 	copy(p.buf, env.data)
+	if env.m != nil {
+		env.m.sendSeconds.Observe(time.Since(env.post).Seconds())
+	}
+	if p.m != nil {
+		p.m.recvMatchWait.Observe(time.Since(p.post).Seconds())
+		p.m.recvBytes.Observe(float64(8 * len(env.data)))
+	}
 	p.env = env
 	close(p.done)
 	close(env.done)
@@ -248,13 +346,22 @@ func deliver(env *envelope, p *posted) {
 // Wait blocks until the request completes. For receives it returns the
 // number of elements received; for sends it returns 0.
 func (r *Request) Wait() int {
+	var m *commMetrics
 	if r.comm != nil {
+		m = r.comm.m
 		if rec := r.comm.world.rec; rec != nil {
 			end := rec.Begin(r.comm.rank, trace.KindWait, "wait", -1, 0)
 			defer end()
 		}
 	}
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	<-r.done
+	if m != nil {
+		m.waitSeconds.Observe(time.Since(t0).Seconds())
+	}
 	if r.post == nil {
 		return 0 // send side
 	}

@@ -228,17 +228,19 @@ func TestCounters(t *testing.T) {
 	w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, make([]float64, 100))
-			if c.SentMessages() != 1 || c.SentBytes() != 800 {
-				t.Errorf("send counters: %d msgs %d bytes", c.SentMessages(), c.SentBytes())
+			tr := c.TrafficSnapshot()
+			if tr.SentMsgs != 1 || tr.SentBytes != 800 {
+				t.Errorf("send counters: %d msgs %d bytes", tr.SentMsgs, tr.SentBytes)
 			}
-			c.ResetCounters()
-			if c.SentMessages() != 0 || c.SentBytes() != 0 {
-				t.Error("reset failed")
+			// The snapshot drained the counters: a second snapshot is empty.
+			if tr = c.TrafficSnapshot(); tr != (Traffic{}) {
+				t.Errorf("snapshot did not drain: %+v", tr)
 			}
 		} else {
 			c.Recv(0, 0, make([]float64, 100))
-			if c.RecvMessages() != 1 || c.RecvBytes() != 800 {
-				t.Errorf("recv counters: %d msgs %d bytes", c.RecvMessages(), c.RecvBytes())
+			tr := c.TrafficSnapshot()
+			if tr.RecvMsgs != 1 || tr.RecvBytes != 800 {
+				t.Errorf("recv counters: %d msgs %d bytes", tr.RecvMsgs, tr.RecvBytes)
 			}
 		}
 	})

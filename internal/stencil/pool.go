@@ -6,6 +6,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/bricklab/brick/internal/metrics"
 )
 
 // This file implements the per-rank compute worker pool: a persistent team
@@ -50,6 +53,41 @@ const tilesPerWorker = 4
 type Pool struct {
 	workers int
 	tasks   chan func()
+	pm      atomic.Pointer[poolMetrics] // nil unless SetMetrics attached one
+}
+
+// poolMetrics caches the pool's instrument series so the per-tile path
+// never touches the registry lock.
+type poolMetrics struct {
+	tileSeconds *metrics.Histogram
+	queueDepth  *metrics.Gauge
+	tilesTotal  *metrics.Counter
+	busySeconds *metrics.Gauge
+}
+
+// SetMetrics attaches a registry: every tile execution is timed into the
+// stencil_tile_seconds histogram, the queue depth is sampled at each
+// submit, and accumulated busy time (for utilization: busy / (workers ×
+// wall)) is exported. A nil registry detaches. Safe to call concurrently
+// with running ForRange calls; tiles already in flight finish under the
+// previous setting.
+func (p *Pool) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		p.pm.Store(nil)
+		return
+	}
+	reg.Describe(metrics.StencilTileSeconds, "Per-tile stencil kernel execution time (seconds).")
+	reg.Describe(metrics.PoolQueueDepth, "Worker-pool tasks queued at submit time.")
+	reg.Describe(metrics.PoolTilesTotal, "Tiles executed by the worker pool.")
+	reg.Describe(metrics.PoolBusySeconds, "Accumulated worker busy time (seconds).")
+	reg.Describe(metrics.PoolWorkers, "Worker count of the pool.")
+	reg.Gauge(metrics.PoolWorkers, nil).Set(float64(p.workers))
+	p.pm.Store(&poolMetrics{
+		tileSeconds: reg.Histogram(metrics.StencilTileSeconds, nil),
+		queueDepth:  reg.Gauge(metrics.PoolQueueDepth, nil),
+		tilesTotal:  reg.Counter(metrics.PoolTilesTotal, nil),
+		busySeconds: reg.Gauge(metrics.PoolBusySeconds, nil),
+	})
 }
 
 // NewPool starts a pool with the given worker count (<= 0 resolves via
@@ -78,6 +116,9 @@ func (p *Pool) Close() { close(p.tasks) }
 // the queue is full (callers never block on a busy pool, so a ForRange
 // issued from inside a pool task cannot deadlock).
 func (p *Pool) submit(f func()) {
+	if pm := p.pm.Load(); pm != nil {
+		pm.queueDepth.Set(float64(len(p.tasks)))
+	}
 	select {
 	case p.tasks <- f:
 	default:
@@ -99,8 +140,19 @@ func (p *Pool) ForRange(workers, n int, fn func(lo, hi int)) {
 	if w > n {
 		w = n
 	}
+	run := fn
+	if pm := p.pm.Load(); pm != nil {
+		run = func(lo, hi int) {
+			t0 := time.Now()
+			fn(lo, hi)
+			d := time.Since(t0).Seconds()
+			pm.tileSeconds.Observe(d)
+			pm.busySeconds.Add(d)
+			pm.tilesTotal.Inc()
+		}
+	}
 	if w <= 1 {
-		fn(0, n)
+		run(0, n)
 		return
 	}
 	grain := n / (w * tilesPerWorker)
@@ -118,7 +170,7 @@ func (p *Pool) ForRange(workers, n int, fn func(lo, hi int)) {
 			if hi > n {
 				hi = n
 			}
-			fn(lo, hi)
+			run(lo, hi)
 		}
 	}
 	var wg sync.WaitGroup

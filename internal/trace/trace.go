@@ -141,11 +141,17 @@ type chromeEvent struct {
 }
 
 // WriteChromeTrace emits the timeline in the Chrome trace-event JSON array
-// format: one row (tid) per rank.
+// format: one row (tid) per rank. Events are streamed one per line rather
+// than marshalled as one giant array, and every write's error — including
+// short writes, which io.Writer reports as err != nil with n < len — is
+// propagated, so a full disk or closed pipe cannot silently truncate the
+// trace.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	evs := r.Events()
-	out := make([]chromeEvent, 0, len(evs))
-	for _, e := range evs {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, e := range evs {
 		ce := chromeEvent{
 			Name: e.Name,
 			Cat:  string(e.Kind),
@@ -164,10 +170,49 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				ce.Args["peer"] = e.Peer
 			}
 		}
-		out = append(out, ce)
+		line, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(evs)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(line, sep...)); err != nil {
+			return err
+		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// ReadChromeTrace parses a trace previously written with WriteChromeTrace
+// back into events (the inverse mapping: tid→rank, cat→kind, µs→durations).
+// cmd/obsreport uses it to merge a trace with a metrics snapshot.
+func ReadChromeTrace(rd io.Reader) ([]Event, error) {
+	var ces []chromeEvent
+	if err := json.NewDecoder(rd).Decode(&ces); err != nil {
+		return nil, fmt.Errorf("trace: parse chrome trace: %w", err)
+	}
+	out := make([]Event, 0, len(ces))
+	for _, ce := range ces {
+		e := Event{
+			Rank:  ce.Tid,
+			Kind:  Kind(ce.Cat),
+			Name:  ce.Name,
+			Start: time.Duration(ce.Ts * float64(time.Microsecond)),
+			Dur:   time.Duration(ce.Dur * float64(time.Microsecond)),
+			Peer:  -1,
+		}
+		if b, ok := ce.Args["bytes"].(float64); ok {
+			e.Bytes = int64(b)
+		}
+		if p, ok := ce.Args["peer"].(float64); ok {
+			e.Peer = int(p)
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // String renders a compact textual timeline, for debugging.

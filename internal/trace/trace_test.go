@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -126,5 +127,92 @@ func TestStringRendering(t *testing.T) {
 	s := r.String()
 	if !strings.Contains(s, "rank 0") || !strings.Contains(s, "waitall") || !strings.Contains(s, "64B") {
 		t.Errorf("rendering: %q", s)
+	}
+}
+
+// failAfterWriter fails (with a short-write count, as io.Writer requires)
+// once limit bytes have been written.
+type failAfterWriter struct {
+	limit   int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		if n < 0 {
+			n = 0
+		}
+		w.written += n
+		return n, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestChromeTraceWriteErrorPropagation: a writer failing mid-stream (short
+// write) must surface as an error, never as a silently truncated trace.
+func TestChromeTraceWriteErrorPropagation(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 50; i++ {
+		r.Record(Event{Rank: i % 4, Kind: KindSend, Name: "send",
+			Start: time.Duration(i) * time.Microsecond, Dur: time.Microsecond, Bytes: 64, Peer: 0})
+	}
+	var full bytes.Buffer
+	if err := r.WriteChromeTrace(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{0, 1, 10, full.Len() / 2, full.Len() - 1} {
+		if err := r.WriteChromeTrace(&failAfterWriter{limit: limit}); err == nil {
+			t.Errorf("limit %d: no error from failing writer", limit)
+		}
+	}
+}
+
+// TestEventsReturnsCopy: mutating the returned slice must not corrupt the
+// recorder's internal state (callers sort, filter, and annotate freely).
+func TestEventsReturnsCopy(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 1, Kind: KindSend, Name: "original", Start: 5 * time.Microsecond})
+	r.Record(Event{Rank: 2, Kind: KindWait, Name: "second", Start: 1 * time.Microsecond})
+	evs := r.Events()
+	evs[0].Name = "mutated"
+	evs[0].Rank = 99
+	evs = evs[:0] // callers may also truncate
+	_ = evs
+	again := r.Events()
+	if len(again) != 2 {
+		t.Fatalf("events lost: %d", len(again))
+	}
+	// Events() sorts by start: "second" first, "original" second.
+	if again[1].Name != "original" || again[1].Rank != 1 {
+		t.Errorf("internal state mutated through returned slice: %+v", again[1])
+	}
+}
+
+// TestChromeTraceRoundTrip: ReadChromeTrace inverts WriteChromeTrace at
+// microsecond resolution.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Rank: 3, Kind: KindSend, Name: "send->0 tag=5",
+		Start: 100 * time.Microsecond, Dur: 50 * time.Microsecond, Bytes: 4096, Peer: 0})
+	r.Record(Event{Rank: 0, Kind: KindCompute, Name: "stencil",
+		Start: 10 * time.Microsecond, Dur: 90 * time.Microsecond, Peer: -1})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if len(back) != len(want) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(want))
+	}
+	for i := range back {
+		if back[i] != want[i] {
+			t.Errorf("event %d: got %+v want %+v", i, back[i], want[i])
+		}
 	}
 }
