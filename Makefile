@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-json bench-check
+.PHONY: all build vet fmt test race bench bench-allocs bench-json bench-check
 
 all: build vet fmt test
 
@@ -30,6 +30,13 @@ race:
 # One iteration of every benchmark as a smoke test (no unit tests: -run '^$').
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+# bench-allocs fails if the persistent per-step hot path regresses above
+# zero heap allocations (Layout + MemMap Start/Complete, and the raw
+# persistent-request Start/Wait cycle).
+bench-allocs:
+	$(GO) test -count=1 -run 'TestPersistentHotPathAllocs' ./internal/core/
+	$(GO) test -count=1 -run 'TestPersistentZeroAllocSteps' ./internal/mpi/
 
 # Reference configurations for the machine-readable bench baselines
 # (BENCH_<impl>_<dim>.json, schema brick-bench/v1; see docs/observability.md).

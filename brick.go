@@ -17,9 +17,10 @@
 //		dec, _ := brick.NewBrickDecomp(brick.Shape{8, 8, 8},
 //			[3]int{64, 64, 64}, 8, 2, brick.Surface3D())
 //		storage := dec.Allocate()
-//		ex := brick.NewExchanger(dec, cart)
+//		ex := brick.NewLayoutExchange(brick.NewExchanger(dec, cart), storage)
+//		defer ex.Close()
 //		// ... initialize, then per timestep:
-//		ex.Exchange(storage)       // pack-free, 42 messages
+//		ex.Exchange()              // pack-free, 42 messages, plan reused
 //		// apply stencil via stencil.ApplyBricks
 //	})
 package brick
@@ -44,8 +45,17 @@ type (
 	// BrickDecomp is a subdomain decomposition with a communication-
 	// optimized brick order.
 	BrickDecomp = core.BrickDecomp
-	// Exchanger runs the pack-free Layout exchange.
+	// Exchanger is the unified Plan/Start/Complete/Close lifecycle every
+	// exchange variant implements.
 	Exchanger = core.Exchanger
+	// BrickExchanger is the topology + span plan of the pack-free exchange.
+	BrickExchanger = core.BrickExchanger
+	// LayoutExchange is the compiled persistent Basic/Layout exchange.
+	LayoutExchange = core.LayoutExchange
+	// ExchangePlan is a compiled, immutable per-step message plan.
+	ExchangePlan = core.ExchangePlan
+	// PlanSummary is the compact serializable description of a plan.
+	PlanSummary = core.PlanSummary
 	// ExchangeView runs the MemMap exchange (one message per neighbor).
 	ExchangeView = core.ExchangeView
 	// ShiftView runs the dimension-by-dimension Shift exchange (6 messages).
@@ -72,10 +82,14 @@ var (
 	NewMappedBrickStorage = core.NewMappedBrickStorage
 	// NewExchanger binds a decomposition to a Cartesian topology.
 	NewExchanger = core.NewExchanger
+	// NewLayoutExchange compiles the span plan into a persistent Exchanger.
+	NewLayoutExchange = core.NewLayoutExchange
 	// NewExchangeView builds per-neighbor MemMap views.
 	NewExchangeView = core.NewExchangeView
 	// NewShiftView builds the three-phase Shift exchange views.
 	NewShiftView = core.NewShiftView
+	// WithPersistentPlan toggles persistent pre-matched requests (default on).
+	WithPersistentPlan = core.WithPersistentPlan
 	// WithPageAlignment pads communication regions to page multiples.
 	WithPageAlignment = core.WithPageAlignment
 	// WithPerRegionMessages selects the paper's Basic message plan.

@@ -13,46 +13,19 @@ import (
 	"os"
 
 	"github.com/bricklab/brick/internal/cli"
-	"github.com/bricklab/brick/internal/core"
 	"github.com/bricklab/brick/internal/harness"
-	"github.com/bricklab/brick/internal/metrics"
 )
 
 func main() {
 	var (
-		global     = flag.Int("global", 128, "global cubic domain dimension")
-		implList   = flag.String("impl", "memmap,yask", "comma-separated implementations")
-		stName     = flag.String("stencil", "7pt", "stencil: 7pt or 125pt")
-		iters      = flag.Int("I", 8, "timed timesteps")
-		ghost      = flag.Int("ghost", 8, "ghost width")
-		brickDim   = flag.Int("brick", 8, "brick dimension")
-		machine    = flag.String("machine", "theta-knl", "machine profile")
-		maxRanks   = flag.Int("max-ranks", 512, "largest rank count to attempt")
-		workers    = flag.Int("workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
-		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot JSON (brick-metrics/v1) covering the whole sweep")
-		pprofAddr  = flag.String("pprof-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (e.g. localhost:6060)")
+		global   = flag.Int("global", 128, "global cubic domain dimension")
+		implList = flag.String("impl", "memmap,yask", "comma-separated implementations")
+		maxRanks = flag.Int("max-ranks", 512, "largest rank count to attempt")
 	)
+	common := cli.RegisterCommon(8, 8)
 	flag.Parse()
 
-	var reg *metrics.Registry
-	if *metricsOut != "" || *pprofAddr != "" {
-		reg = metrics.NewRegistry()
-	}
-	if *pprofAddr != "" {
-		addr, err := reg.Serve(*pprofAddr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "strong: pprof server: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "strong: serving metrics and pprof on http://%s\n", addr)
-	}
-
-	st, err := cli.ParseStencil(*stName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "strong: %v\n", err)
-		os.Exit(2)
-	}
-	mach, err := cli.ParseMachine(*machine)
+	res, err := common.Resolve("strong", false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "strong: %v\n", err)
 		os.Exit(2)
@@ -70,7 +43,7 @@ func main() {
 			break
 		}
 		dim := *global / procs
-		if dim < 2**ghost || dim%*brickDim != 0 {
+		if dim < 2*common.Ghost || dim%common.Brick != 0 {
 			break
 		}
 		for _, im := range sel {
@@ -78,30 +51,21 @@ func main() {
 				Impl:        im,
 				Procs:       [3]int{procs, procs, procs},
 				Dom:         [3]int{dim, dim, dim},
-				Ghost:       *ghost,
-				Shape:       core.Shape{*brickDim, *brickDim, *brickDim},
-				Stencil:     st,
-				Steps:       *iters,
 				Warmup:      1,
-				Machine:     mach,
 				ExpandGhost: true,
-				Workers:     *workers,
-				Metrics:     reg,
 			}
-			res, err := harness.Run(cfg)
+			common.Apply(&cfg, res)
+			out, err := harness.Run(cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "strong: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Printf("%-6d %-12s %-10d %-12.4f %-12.4f %-12.4f\n",
-				n, im.String(), dim, res.Comm.Mean()*1e3, res.Calc.Mean()*1e3, res.GStencils)
+				n, im.String(), dim, out.Comm.Mean()*1e3, out.Calc.Mean()*1e3, out.GStencils)
 		}
 	}
-	if *metricsOut != "" {
-		if err := reg.WriteJSONFile(*metricsOut); err != nil {
-			fmt.Fprintf(os.Stderr, "strong: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "strong: metrics snapshot written to %s (inspect with obsreport)\n", *metricsOut)
+	if err := common.Finish("strong", res.Registry); err != nil {
+		fmt.Fprintf(os.Stderr, "strong: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -18,7 +18,6 @@ import (
 	"github.com/bricklab/brick/internal/core"
 	"github.com/bricklab/brick/internal/harness"
 	"github.com/bricklab/brick/internal/layout"
-	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/mpi"
 	"github.com/bricklab/brick/internal/trace"
 )
@@ -39,8 +38,10 @@ func writeExchangeTrace(cfg harness.Config, path string) error {
 			return
 		}
 		bs := dec.Allocate()
-		ex := core.NewExchanger(dec, cart)
-		ex.Exchange(bs)
+		lx := core.NewLayoutExchange(core.NewExchanger(dec, cart), bs,
+			core.WithPersistentPlan(!cfg.DisablePersistent))
+		defer lx.Close()
+		lx.Exchange()
 	})
 	if innerErr != nil {
 		return innerErr
@@ -55,23 +56,16 @@ func writeExchangeTrace(cfg harness.Config, path string) error {
 
 func main() {
 	var (
-		implName   = flag.String("impl", "layout", "implementation: "+cli.ImplNames())
-		dim        = flag.Int("d", 32, "cubic subdomain dimension per rank (elements)")
-		iters      = flag.Int("I", 16, "timed iterations (timesteps)")
-		warmup     = flag.Int("warmup", 2, "untimed warmup timesteps")
-		ranks      = flag.String("ranks", "2,2,2", "rank grid i,j,k (periodic)")
-		ghost      = flag.Int("ghost", 8, "ghost width (elements)")
-		brickDim   = flag.Int("brick", 8, "brick dimension")
-		stName     = flag.String("stencil", "7pt", "stencil: 7pt or 125pt")
-		machine    = flag.String("machine", "theta-knl", "machine profile for the network model")
-		expand     = flag.Bool("expand", true, "use ghost-cell expansion")
-		page       = flag.Int("page", 0, "override page size for MemMap padding (bytes)")
-		traceOut   = flag.String("trace", "", "write a Chrome trace JSON of one exchange to this file")
-		workers    = flag.Int("workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
-		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot JSON (brick-metrics/v1) to this file")
-		benchOut   = flag.String("bench-out", "", "write a BENCH_<impl>_<dim>.json baseline into this directory")
-		pprofAddr  = flag.String("pprof-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (e.g. localhost:6060)")
+		implName = flag.String("impl", "layout", "implementation: "+cli.ImplNames())
+		dim      = flag.Int("d", 32, "cubic subdomain dimension per rank (elements)")
+		warmup   = flag.Int("warmup", 2, "untimed warmup timesteps")
+		ranks    = flag.String("ranks", "2,2,2", "rank grid i,j,k (periodic)")
+		expand   = flag.Bool("expand", true, "use ghost-cell expansion")
+		page     = flag.Int("page", 0, "override page size for MemMap padding (bytes)")
+		traceOut = flag.String("trace", "", "write a Chrome trace JSON of one exchange to this file")
+		benchOut = flag.String("bench-out", "", "write a BENCH_<impl>_<dim>.json baseline into this directory")
 	)
+	common := cli.RegisterCommon(8, 16)
 	flag.Parse()
 
 	im, err := cli.ParseImpl(*implName)
@@ -84,59 +78,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "weak: -ranks: %v\n", err)
 		os.Exit(2)
 	}
-	st, err := cli.ParseStencil(*stName)
+	r, err := common.Resolve("weak", *benchOut != "")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "weak: %v\n", err)
 		os.Exit(2)
-	}
-	mach, err := cli.ParseMachine(*machine)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "weak: %v\n", err)
-		os.Exit(2)
-	}
-
-	var reg *metrics.Registry
-	if *metricsOut != "" || *benchOut != "" || *pprofAddr != "" {
-		reg = metrics.NewRegistry()
-	}
-	if *pprofAddr != "" {
-		addr, err := reg.Serve(*pprofAddr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "weak: pprof server: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "weak: serving metrics and pprof on http://%s\n", addr)
 	}
 
 	cfg := harness.Config{
 		Impl:        im,
 		Procs:       procs,
 		Dom:         [3]int{*dim, *dim, *dim},
-		Ghost:       *ghost,
-		Shape:       core.Shape{*brickDim, *brickDim, *brickDim},
-		Stencil:     st,
-		Steps:       *iters,
 		Warmup:      *warmup,
-		Machine:     mach,
 		ExpandGhost: *expand,
 		PageBytes:   *page,
-		Workers:     *workers,
-		Metrics:     reg,
 	}
+	common.Apply(&cfg, r)
 	res, err := harness.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "weak: %v\n", err)
 		os.Exit(1)
 	}
-	if *metricsOut != "" {
-		if err := reg.WriteJSONFile(*metricsOut); err != nil {
-			fmt.Fprintf(os.Stderr, "weak: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "weak: metrics snapshot written to %s (inspect with obsreport)\n", *metricsOut)
+	if err := common.Finish("weak", r.Registry); err != nil {
+		fmt.Fprintf(os.Stderr, "weak: %v\n", err)
+		os.Exit(1)
 	}
 	if *benchOut != "" {
-		b := bench.FromResult(res, reg.Snapshot())
+		b := bench.FromResult(res, r.Registry.Snapshot())
 		path, err := b.Write(*benchOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "weak: %v\n", err)
@@ -153,9 +120,15 @@ func main() {
 	}
 
 	fmt.Printf("impl=%s dim=%d ranks=%v stencil=%s steps=%d msgs/exchange=%d wire=%dB",
-		im, *dim, procs, st.Name, *iters, res.MsgsPerExchange, res.WireBytes)
+		im, *dim, procs, r.Stencil.Name, common.Iters, res.MsgsPerExchange, res.WireBytes)
 	if res.Modeled {
 		fmt.Print(" [modeled]")
+	}
+	if res.Plan != nil {
+		fmt.Printf(" plan=%s/%s", res.Plan.Variant, res.Plan.Digest[:8])
+		if !res.Plan.Persistent {
+			fmt.Print(" [no-persist]")
+		}
 	}
 	fmt.Println()
 	fmt.Printf("calc %s\n", res.Calc.String())

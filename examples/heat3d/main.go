@@ -79,14 +79,20 @@ func main() {
 			storage = dec.Allocate()
 		}
 		info := dec.BrickInfo()
-		ex := brick.NewExchanger(dec, cart)
-		var view *brick.ExchangeView
+		// Both variants drive the same compiled-plan lifecycle: the MemMap
+		// view exchange and the pack-free span exchange are one interface.
+		bx := brick.NewExchanger(dec, cart)
+		var ex brick.Exchanger
 		if *memmap {
-			if view, err = brick.NewExchangeView(ex, storage); err != nil {
+			view, err := brick.NewExchangeView(bx, storage)
+			if err != nil {
 				panic(err)
 			}
-			defer view.Close()
+			ex = view
+		} else {
+			ex = brick.NewLayoutExchange(bx, storage)
 		}
+		defer ex.Close()
 
 		mode := func(g [3]int) float64 {
 			return math.Sin(2*math.Pi*float64(g[0])/float64(global[0])) *
@@ -104,11 +110,8 @@ func main() {
 
 		cur := 0
 		for s := 0; s < *steps; s++ {
-			if *memmap {
-				view.Exchange()
-			} else {
-				ex.Exchange(storage)
-			}
+			ex.Start()
+			ex.Complete()
 			src := brick.NewBrick(info, storage, cur)
 			dst := brick.NewBrick(info, storage, 1-cur)
 			brick.ApplyBricks(dst, src, dec, diffusion, 0)

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/bricklab/brick/internal/core"
 	"github.com/bricklab/brick/internal/harness"
 	"github.com/bricklab/brick/internal/metrics"
 )
@@ -47,6 +48,12 @@ type Baseline struct {
 	// Phases maps phase name (calc/pack/call/wait) to its cross-rank
 	// per-step latency summary, taken from the rank="all" histograms.
 	Phases map[string]Phase `json:"phases"`
+
+	// Plan is rank 0's compiled exchange plan (variant, message counts,
+	// bytes, digest). Nil for GPU baselines, whose exchanges are modeled.
+	// The digest is deterministic, so Compare treats any change as a
+	// behaviour change.
+	Plan *core.PlanSummary `json:"plan,omitempty"`
 }
 
 // FromResult builds a baseline from a harness result plus the metrics
@@ -67,6 +74,7 @@ func FromResult(res harness.Result, snap *metrics.Snapshot) Baseline {
 		DataBytes:       res.DataBytes,
 		WireBytes:       res.WireBytes,
 		Phases:          map[string]Phase{},
+		Plan:            res.Plan,
 	}
 	if snap == nil {
 		return b
@@ -146,6 +154,13 @@ func Compare(base, cur Baseline, maxDrop float64) error {
 	if base.WireBytes != cur.WireBytes {
 		return fmt.Errorf("bench: %s: wire bytes/exchange changed %d → %d",
 			base.Impl, base.WireBytes, cur.WireBytes)
+	}
+	// A digest change means different peers, tags, or payloads — a plan
+	// behaviour change even when the totals happen to agree. Baselines
+	// recorded before plans were captured (nil) are not gated.
+	if base.Plan != nil && cur.Plan != nil && base.Plan.Digest != cur.Plan.Digest {
+		return fmt.Errorf("bench: %s: exchange plan digest changed %s → %s",
+			base.Impl, base.Plan.Digest, cur.Plan.Digest)
 	}
 	if base.GStencils > 0 {
 		floor := base.GStencils * (1 - maxDrop)

@@ -63,6 +63,15 @@ func TestFromResult(t *testing.T) {
 	if b.Phases["calc"].MeanSec <= 0 {
 		t.Error("calc mean is zero")
 	}
+	if b.Plan == nil {
+		t.Fatal("compiled plan missing from baseline")
+	}
+	if b.Plan.Variant != "spans" || !b.Plan.Persistent || b.Plan.Digest == "" {
+		t.Errorf("plan section wrong: %+v", *b.Plan)
+	}
+	if b.Plan.Sends == 0 || b.Plan.SendBytes == 0 {
+		t.Errorf("plan empty: %+v", *b.Plan)
+	}
 }
 
 func TestFilename(t *testing.T) {
@@ -139,6 +148,21 @@ func TestCompare(t *testing.T) {
 	wire.WireBytes = 2 << 20
 	if err := Compare(base, wire, 0.10); err == nil {
 		t.Error("wire-bytes change passed the gate")
+	}
+	withPlan := base
+	withPlan.Plan = &core.PlanSummary{Variant: "spans", Digest: "aaaa"}
+	samePlan := base
+	samePlan.Plan = &core.PlanSummary{Variant: "spans", Digest: "aaaa"}
+	if err := Compare(withPlan, samePlan, 0.10); err != nil {
+		t.Errorf("identical plan digests failed the gate: %v", err)
+	}
+	changed := base
+	changed.Plan = &core.PlanSummary{Variant: "spans", Digest: "bbbb"}
+	if err := Compare(withPlan, changed, 0.10); err == nil {
+		t.Error("plan digest change passed the gate")
+	}
+	if err := Compare(base, changed, 0.10); err != nil {
+		t.Errorf("pre-plan baseline gated on digest: %v", err)
 	}
 }
 

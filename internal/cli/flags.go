@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/harness"
+	"github.com/bricklab/brick/internal/metrics"
+	"github.com/bricklab/brick/internal/netmodel"
+	"github.com/bricklab/brick/internal/stencil"
+)
+
+// Common holds the flags every experiment command shares (cmd/strong,
+// cmd/weak). They are registered in one place so a new cross-cutting flag —
+// like the -persistent escape hatch — is defined once and appears in every
+// binary with the same name, default, and help text.
+type Common struct {
+	Stencil    string
+	Machine    string
+	Ghost      int
+	Brick      int
+	Iters      int
+	Workers    int
+	Persistent bool
+	MetricsOut string
+	PprofAddr  string
+}
+
+// RegisterCommon installs the shared flags on the default flag set.
+// ghostDefault and itersDefault let the commands keep their historical
+// defaults (weak: 16 iterations; strong: 8).
+func RegisterCommon(ghostDefault, itersDefault int) *Common {
+	c := &Common{}
+	flag.StringVar(&c.Stencil, "stencil", "7pt", "stencil: 7pt or 125pt")
+	flag.StringVar(&c.Machine, "machine", "theta-knl", "machine profile for the network model")
+	flag.IntVar(&c.Ghost, "ghost", ghostDefault, "ghost width (elements)")
+	flag.IntVar(&c.Brick, "brick", 8, "brick dimension")
+	flag.IntVar(&c.Iters, "I", itersDefault, "timed iterations (timesteps)")
+	flag.IntVar(&c.Workers, "workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
+	flag.BoolVar(&c.Persistent, "persistent", true, "use persistent pre-matched exchange plans; false falls back to per-step tag matching")
+	flag.StringVar(&c.MetricsOut, "metrics-out", "", "write a metrics snapshot JSON (brick-metrics/v1) to this file")
+	flag.StringVar(&c.PprofAddr, "pprof-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (e.g. localhost:6060)")
+	return c
+}
+
+// Resolved carries the parsed shared flags in harness-ready form.
+type Resolved struct {
+	Stencil stencil.Stencil
+	Machine netmodel.Machine
+	// Registry is non-nil when any metrics sink was requested; pass it as
+	// harness.Config.Metrics.
+	Registry *metrics.Registry
+}
+
+// Resolve validates the shared flags, creates the metrics registry when any
+// sink needs one (needRegistry forces it, e.g. for -bench-out), and starts
+// the pprof server if requested. prog prefixes error and log messages.
+func (c *Common) Resolve(prog string, needRegistry bool) (Resolved, error) {
+	var r Resolved
+	var err error
+	if r.Stencil, err = ParseStencil(c.Stencil); err != nil {
+		return r, err
+	}
+	if r.Machine, err = ParseMachine(c.Machine); err != nil {
+		return r, err
+	}
+	if c.MetricsOut != "" || c.PprofAddr != "" || needRegistry {
+		r.Registry = metrics.NewRegistry()
+	}
+	if c.PprofAddr != "" {
+		addr, err := r.Registry.Serve(c.PprofAddr)
+		if err != nil {
+			return r, fmt.Errorf("pprof server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: serving metrics and pprof on http://%s\n", prog, addr)
+	}
+	return r, nil
+}
+
+// Apply stamps the shared values onto a harness configuration.
+func (c *Common) Apply(cfg *harness.Config, r Resolved) {
+	cfg.Ghost = c.Ghost
+	cfg.Shape = core.Shape{c.Brick, c.Brick, c.Brick}
+	cfg.Stencil = r.Stencil
+	cfg.Steps = c.Iters
+	cfg.Machine = r.Machine
+	cfg.Workers = c.Workers
+	cfg.Metrics = r.Registry
+	cfg.DisablePersistent = !c.Persistent
+}
+
+// Finish writes the metrics snapshot if -metrics-out was given.
+func (c *Common) Finish(prog string, reg *metrics.Registry) error {
+	if c.MetricsOut == "" {
+		return nil
+	}
+	if err := reg.WriteJSONFile(c.MetricsOut); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: metrics snapshot written to %s (inspect with obsreport)\n", prog, c.MetricsOut)
+	return nil
+}

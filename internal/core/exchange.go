@@ -1,17 +1,25 @@
 package core
 
 import (
+	"time"
+
 	"github.com/bricklab/brick/internal/layout"
 	"github.com/bricklab/brick/internal/mpi"
 	"github.com/bricklab/brick/internal/shmem"
 )
 
-// Exchanger performs the pack-free ghost-zone exchange for one rank: every
-// message is a contiguous run of brick chunks sent straight out of storage
-// and received straight into ghost storage, with zero packing copies. The
-// message plan comes from the decomposition's layout (42 messages per rank
-// for the optimal 3D layout, 98 for Basic).
-type Exchanger struct {
+// BrickExchanger performs the pack-free ghost-zone exchange for one rank:
+// every message is a contiguous run of brick chunks sent straight out of
+// storage and received straight into ghost storage, with zero packing
+// copies. The message plan comes from the decomposition's layout (42
+// messages per rank for the optimal 3D layout, 98 for Basic).
+//
+// BrickExchanger is the topology/plan half shared by every brick exchange
+// variant; bind it to storage with NewLayoutExchange, NewExchangeView, or
+// NewShiftView to get an Exchanger driving the Plan/Start/Complete
+// lifecycle. The per-call PostReceives/PostSends/Wait methods remain as
+// the one-shot fallback (and for single-exchange tools).
+type BrickExchanger struct {
 	d    *BrickDecomp
 	comm *mpi.Comm
 	rank map[layout.Set]int // neighbor direction -> rank (-1 at open boundary)
@@ -26,8 +34,8 @@ func cartOffset(s layout.Set) []int {
 
 // NewExchanger resolves neighbor ranks for every direction from a Cartesian
 // topology whose dims are ordered (k,j,i) — i fastest, matching storage.
-func NewExchanger(d *BrickDecomp, cart *mpi.Cart) *Exchanger {
-	e := &Exchanger{d: d, comm: cart.Comm(), rank: make(map[layout.Set]int, 26)}
+func NewExchanger(d *BrickDecomp, cart *mpi.Cart) *BrickExchanger {
+	e := &BrickExchanger{d: d, comm: cart.Comm(), rank: make(map[layout.Set]int, 26)}
 	for _, s := range layout.Regions(3) {
 		e.rank[s] = cart.Neighbor(cartOffset(s))
 	}
@@ -35,15 +43,15 @@ func NewExchanger(d *BrickDecomp, cart *mpi.Cart) *Exchanger {
 }
 
 // Decomp returns the decomposition this exchanger serves.
-func (e *Exchanger) Decomp() *BrickDecomp { return e.d }
+func (e *BrickExchanger) Decomp() *BrickDecomp { return e.d }
 
 // NeighborRank returns the rank in direction s, or -1 at an open boundary.
-func (e *Exchanger) NeighborRank(s layout.Set) int { return e.rank[s] }
+func (e *BrickExchanger) NeighborRank(s layout.Set) int { return e.rank[s] }
 
 // Exchange runs one ghost-zone exchange on the given storage: posts all
 // receives, then all sends, then waits for completion. Returns the number
 // of messages this rank sent.
-func (e *Exchanger) Exchange(bs *BrickStorage) int {
+func (e *BrickExchanger) Exchange(bs *BrickStorage) int {
 	e.PostReceives(bs)
 	n := e.PostSends(bs)
 	e.Wait()
@@ -52,7 +60,7 @@ func (e *Exchanger) Exchange(bs *BrickStorage) int {
 
 // PostReceives posts the ghost-region receives. Callers composing their own
 // overlap schemes may use PostReceives/PostSends/Wait directly.
-func (e *Exchanger) PostReceives(bs *BrickStorage) {
+func (e *BrickExchanger) PostReceives(bs *BrickStorage) {
 	chunk := bs.Chunk()
 	for _, m := range e.d.recvMsgs {
 		src := e.rank[m.Dir]
@@ -65,7 +73,7 @@ func (e *Exchanger) PostReceives(bs *BrickStorage) {
 }
 
 // PostSends posts the surface-region sends and returns how many were posted.
-func (e *Exchanger) PostSends(bs *BrickStorage) int {
+func (e *BrickExchanger) PostSends(bs *BrickStorage) int {
 	chunk := bs.Chunk()
 	n := 0
 	for _, m := range e.d.sendMsgs {
@@ -81,7 +89,7 @@ func (e *Exchanger) PostSends(bs *BrickStorage) int {
 }
 
 // Wait completes all outstanding requests.
-func (e *Exchanger) Wait() {
+func (e *BrickExchanger) Wait() {
 	mpi.Waitall(e.reqs)
 	e.reqs = e.reqs[:0]
 }
@@ -92,12 +100,23 @@ func (e *Exchanger) Wait() {
 // directly in the contiguous ghost group. When real memory mapping is
 // available the views alias storage with zero copies; otherwise they degrade
 // to gather-before-send copies and Degraded() reports true.
+//
+// The plan — at most 26 messages, fixed views, fixed ghost windows — is
+// compiled once at construction; with persistent plans (the default) each
+// Start/Complete cycle reuses pre-matched requests and allocates nothing.
 type ExchangeView struct {
-	e        *Exchanger
-	bs       *BrickStorage
-	sends    []sendView
-	degraded bool
+	PlanBase
+	e          *BrickExchanger
+	bs         *BrickStorage
+	sends      []sendView
+	degraded   bool
+	persistent bool
+	precvs     []*mpi.Request
+	psends     []*mpi.Request
+	pall       []*mpi.Request
 }
+
+var _ Exchanger = (*ExchangeView)(nil)
 
 type sendView struct {
 	dir  layout.Set
@@ -107,11 +126,15 @@ type sendView struct {
 	flat []float64   // the contiguous window to send
 }
 
-// NewExchangeView precomputes per-neighbor send views. Storage should come
-// from MmapAllocate for zero-copy views; heap storage yields a functional
-// but degraded (copying) view.
-func NewExchangeView(e *Exchanger, bs *BrickStorage) (*ExchangeView, error) {
-	ev := &ExchangeView{e: e, bs: bs}
+// NewExchangeView precomputes per-neighbor send views and compiles the
+// exchange plan. Storage should come from MmapAllocate for zero-copy
+// views; heap storage yields a functional but degraded (copying) view.
+func NewExchangeView(e *BrickExchanger, bs *BrickStorage, opts ...PlanOption) (*ExchangeView, error) {
+	o := defaultPlanOpts()
+	for _, f := range opts {
+		f(&o)
+	}
+	ev := &ExchangeView{e: e, bs: bs, persistent: o.persistent}
 	chunk := bs.Chunk()
 	// Group this rank's send runs by destination, in tag order (tag order
 	// is grouping order per destination).
@@ -152,6 +175,39 @@ func NewExchangeView(e *Exchanger, bs *BrickStorage) (*ExchangeView, error) {
 		}
 		ev.sends = append(ev.sends, sv)
 	}
+	// Compile the plan: receives in ghost-group order, sends in view order —
+	// the same program order on every rank, so persistent endpoints pair
+	// deterministically.
+	plan := ExchangePlan{Variant: "memmap", Persistent: o.persistent}
+	for _, u := range e.d.order {
+		src := e.rank[u]
+		if src < 0 {
+			continue
+		}
+		grp := e.d.ghostGroup[u]
+		if grp.NBricks == 0 {
+			continue
+		}
+		buf := bs.Data[grp.Start*chunk : grp.PaddedEnd()*chunk]
+		tag := makeTag(u.Opposite(), 0)
+		plan.Recvs = append(plan.Recvs, PlanMsg{Peer: src, Tag: tag, Bytes: int64(8 * len(buf))})
+		if o.persistent {
+			ev.precvs = append(ev.precvs, e.comm.RecvInit(src, tag, buf))
+		}
+	}
+	for _, sv := range ev.sends {
+		dst := e.rank[sv.dir]
+		if dst < 0 {
+			continue
+		}
+		plan.Sends = append(plan.Sends, PlanMsg{Peer: dst, Tag: sv.tag, Bytes: int64(8 * len(sv.flat))})
+		if o.persistent {
+			ev.psends = append(ev.psends, e.comm.SendInit(dst, sv.tag, sv.flat))
+		}
+	}
+	ev.pall = make([]*mpi.Request, 0, len(ev.precvs)+len(ev.psends))
+	ev.pall = append(append(ev.pall, ev.precvs...), ev.psends...)
+	ev.SetPlan(plan)
 	return ev, nil
 }
 
@@ -177,17 +233,60 @@ func (ev *ExchangeView) NumMessages() int { return len(ev.sends) }
 // Exchange runs one MemMap ghost-zone exchange: one receive per neighbor
 // into the contiguous ghost group, one send per neighbor from the view.
 func (ev *ExchangeView) Exchange() int {
-	n := ev.Begin()
-	ev.End()
+	n := ev.Start()
+	ev.Complete()
 	return n
 }
 
-// Begin posts the receives and sends of one MemMap exchange without waiting,
-// returning the number of sends posted. Callers composing comm/compute
-// overlap compute the interior between Begin and End; only ghost bricks are
-// written and only surface bricks are read while the exchange is in flight,
-// so interior computation is safe to run concurrently.
-func (ev *ExchangeView) Begin() int {
+// gatherSends refreshes the copy-based (degraded) send windows from
+// storage. Aliasing views need nothing: they ARE storage.
+func (ev *ExchangeView) gatherSends() {
+	chunk := ev.bs.Chunk()
+	for _, sv := range ev.sends {
+		if ev.e.rank[sv.dir] < 0 {
+			continue
+		}
+		switch {
+		case sv.view != nil && !sv.view.Mapped():
+			sv.view.Gather() // degraded mode: packing copy
+		case sv.runs != nil:
+			off := 0
+			for _, r := range sv.runs {
+				n := r.Span.Padded * chunk
+				copy(sv.flat[off:off+n], ev.bs.Data[r.Span.Start*chunk:r.Span.PaddedEnd()*chunk])
+				off += n
+			}
+		}
+	}
+}
+
+// Start posts one MemMap exchange without waiting, returning the number of
+// sends posted. Callers composing comm/compute overlap compute the
+// interior between Start and Complete; only ghost bricks are written and
+// only surface bricks are read while the exchange is in flight, so
+// interior computation is safe to run concurrently.
+func (ev *ExchangeView) Start() int {
+	if ev.degraded {
+		t0 := time.Now()
+		ev.gatherSends()
+		ev.AddPack(time.Since(t0))
+	}
+	t0 := time.Now()
+	var n int
+	if ev.persistent {
+		mpi.Startall(ev.precvs)
+		mpi.Startall(ev.psends)
+		n = len(ev.psends)
+	} else {
+		n = ev.postOneShot()
+	}
+	ev.AddCall(time.Since(t0))
+	ev.RecordStart()
+	return n
+}
+
+// postOneShot is the legacy matching-engine path (-persistent=false).
+func (ev *ExchangeView) postOneShot() int {
 	e := ev.e
 	chunk := ev.bs.Chunk()
 	// Post receives: ghost group per neighbor is contiguous, so the single
@@ -210,27 +309,31 @@ func (ev *ExchangeView) Begin() int {
 		if dst < 0 {
 			continue
 		}
-		switch {
-		case sv.view != nil && !sv.view.Mapped():
-			sv.view.Gather() // degraded mode: packing copy
-		case sv.runs != nil:
-			off := 0
-			for _, r := range sv.runs {
-				n := r.Span.Padded * chunk
-				copy(sv.flat[off:off+n], ev.bs.Data[r.Span.Start*chunk:r.Span.PaddedEnd()*chunk])
-				off += n
-			}
-		}
 		e.reqs = append(e.reqs, e.comm.Isend(dst, sv.tag, sv.flat))
 		n++
 	}
 	return n
 }
 
-// End completes the exchange begun by Begin.
-func (ev *ExchangeView) End() { ev.e.Wait() }
+// Complete blocks until the exchange posted by Start has finished.
+func (ev *ExchangeView) Complete() {
+	t0 := time.Now()
+	if ev.persistent {
+		mpi.Waitall(ev.pall)
+	} else {
+		ev.e.Wait()
+	}
+	ev.AddWait(time.Since(t0))
+}
 
-// Close releases the views.
+// Begin posts one exchange; kept as an alias of Start for callers of the
+// pre-plan API.
+func (ev *ExchangeView) Begin() int { return ev.Start() }
+
+// End completes the exchange begun by Begin (alias of Complete).
+func (ev *ExchangeView) End() { ev.Complete() }
+
+// Close releases the views and persistent endpoints.
 func (ev *ExchangeView) Close() error {
 	var first error
 	for _, sv := range ev.sends {
@@ -240,6 +343,10 @@ func (ev *ExchangeView) Close() error {
 			}
 		}
 	}
+	for _, r := range ev.pall {
+		r.Free()
+	}
 	ev.sends = nil
+	ev.precvs, ev.psends, ev.pall = nil, nil, nil
 	return first
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/mpi"
 	"github.com/bricklab/brick/internal/shmem"
 )
 
@@ -19,11 +21,29 @@ import (
 //
 // Shift trades message count (6 vs Layout's 42 or MemMap's 26) for three
 // serialized communication phases per exchange.
+//
+// As an Exchanger, the whole three-phase exchange runs inside Start (the
+// phases cannot overlap computation: each forwards ghost data the previous
+// one received) and Complete is a no-op. With persistent plans (the
+// default) the six transfers are pre-matched once and every phase reuses
+// its fixed slab windows.
 type ShiftView struct {
-	e        *Exchanger
-	bs       *BrickStorage
-	phases   [3][2]shiftMsg // [axis][0: negative dir, 1: positive dir]
-	degraded bool
+	PlanBase
+	e          *BrickExchanger
+	bs         *BrickStorage
+	phases     [3][2]shiftMsg // [axis][0: negative dir, 1: positive dir]
+	degraded   bool
+	persistent bool
+	preqs      [3]phaseReqs // persistent per-axis request sets
+}
+
+var _ Exchanger = (*ShiftView)(nil)
+
+// phaseReqs is one axis phase's persistent requests.
+type phaseReqs struct {
+	recvs []*mpi.Request
+	sends []*mpi.Request
+	all   []*mpi.Request
 }
 
 type shiftMsg struct {
@@ -40,9 +60,14 @@ type slabView struct {
 	flat  []float64
 }
 
-// NewShiftView precomputes the six per-phase slab views.
-func NewShiftView(e *Exchanger, bs *BrickStorage) (*ShiftView, error) {
-	sv := &ShiftView{e: e, bs: bs}
+// NewShiftView precomputes the six per-phase slab views and compiles the
+// exchange plan.
+func NewShiftView(e *BrickExchanger, bs *BrickStorage, opts ...PlanOption) (*ShiftView, error) {
+	o := defaultPlanOpts()
+	for _, f := range opts {
+		f(&o)
+	}
+	sv := &ShiftView{e: e, bs: bs, persistent: o.persistent}
 	d := e.d
 	for axis := 0; axis < 3; axis++ {
 		for side := 0; side < 2; side++ {
@@ -58,6 +83,40 @@ func NewShiftView(e *Exchanger, bs *BrickStorage) (*ShiftView, error) {
 			sv.phases[axis][side] = shiftMsg{dir: dir, send: send, recv: recv}
 		}
 	}
+	// Compile the plan in phase order — receives then sends within each
+	// axis, the same program order on every rank so persistent endpoints
+	// pair deterministically.
+	plan := ExchangePlan{Variant: "shift", Persistent: o.persistent}
+	for axis := 0; axis < 3; axis++ {
+		for side := 0; side < 2; side++ {
+			m := sv.phases[axis][side]
+			src := e.rank[m.dir]
+			if src < 0 {
+				continue
+			}
+			tag := dirIndex(m.dir.Opposite())*tagStride + 50 + axis
+			plan.Recvs = append(plan.Recvs, PlanMsg{Peer: src, Tag: tag, Bytes: int64(8 * len(m.recv.flat))})
+			if o.persistent {
+				sv.preqs[axis].recvs = append(sv.preqs[axis].recvs, e.comm.RecvInit(src, tag, m.recv.flat))
+			}
+		}
+		for side := 0; side < 2; side++ {
+			m := sv.phases[axis][side]
+			dst := e.rank[m.dir]
+			if dst < 0 {
+				continue
+			}
+			tag := dirIndex(m.dir)*tagStride + 50 + axis
+			plan.Sends = append(plan.Sends, PlanMsg{Peer: dst, Tag: tag, Bytes: int64(8 * len(m.send.flat))})
+			if o.persistent {
+				sv.preqs[axis].sends = append(sv.preqs[axis].sends, e.comm.SendInit(dst, tag, m.send.flat))
+			}
+		}
+		pr := &sv.preqs[axis]
+		pr.all = make([]*mpi.Request, 0, len(pr.recvs)+len(pr.sends))
+		pr.all = append(append(pr.all, pr.recvs...), pr.sends...)
+	}
+	sv.SetPlan(plan)
 	return sv, nil
 }
 
@@ -243,47 +302,92 @@ func (sv *ShiftView) NumMessages() int {
 	return n
 }
 
-// Exchange runs the three-phase shift exchange. Within each phase, both
+// Exchange runs the three-phase shift exchange, returning the sends
+// posted. It is equivalent to Start (Complete is a no-op for Shift).
+func (sv *ShiftView) Exchange() int { return sv.Start() }
+
+// Start runs the full three-phase shift exchange. Within each phase, both
 // directions proceed concurrently; the phase completes before the next
-// begins (later phases forward data received earlier).
-func (sv *ShiftView) Exchange() int {
+// begins (later phases forward data received earlier), which is why Shift
+// cannot overlap computation and Complete is a no-op. Phase time lands in
+// Call (posting), Wait (completion), and — degraded storage only — Pack
+// (gather/scatter copies).
+func (sv *ShiftView) Start() int {
 	e := sv.e
 	n := 0
 	for axis := 0; axis < 3; axis++ {
-		for side := 0; side < 2; side++ {
-			m := sv.phases[axis][side]
-			src := e.rank[m.dir]
-			if src < 0 {
-				continue
+		pr := &sv.preqs[axis]
+		t0 := time.Now()
+		if sv.persistent {
+			mpi.Startall(pr.recvs)
+		} else {
+			for side := 0; side < 2; side++ {
+				m := sv.phases[axis][side]
+				src := e.rank[m.dir]
+				if src < 0 {
+					continue
+				}
+				// The incoming data comes from the neighbor at dir; it sent
+				// its own slab for the opposite side.
+				tag := dirIndex(m.dir.Opposite())*tagStride + 50 + axis
+				e.reqs = append(e.reqs, e.comm.Irecv(src, tag, m.recv.flat))
 			}
-			// The incoming data comes from the neighbor at dir; it sent its
-			// own slab for the opposite side.
-			tag := dirIndex(m.dir.Opposite())*tagStride + 50 + axis
-			e.reqs = append(e.reqs, e.comm.Irecv(src, tag, m.recv.flat))
 		}
-		for side := 0; side < 2; side++ {
-			m := sv.phases[axis][side]
-			dst := e.rank[m.dir]
-			if dst < 0 {
-				continue
+		call := time.Since(t0)
+		if sv.degraded {
+			// Aliasing views need no gather; only copy-based windows do.
+			t0 = time.Now()
+			for side := 0; side < 2; side++ {
+				m := sv.phases[axis][side]
+				if e.rank[m.dir] >= 0 {
+					m.send.gather(sv.bs)
+				}
 			}
-			m.send.gather(sv.bs)
-			tag := dirIndex(m.dir)*tagStride + 50 + axis
-			e.reqs = append(e.reqs, e.comm.Isend(dst, tag, m.send.flat))
-			n++
+			sv.AddPack(time.Since(t0))
 		}
-		e.Wait()
-		for side := 0; side < 2; side++ {
-			m := sv.phases[axis][side]
-			if e.rank[m.dir] >= 0 {
-				m.recv.scatter(sv.bs)
+		t0 = time.Now()
+		if sv.persistent {
+			mpi.Startall(pr.sends)
+			n += len(pr.sends)
+		} else {
+			for side := 0; side < 2; side++ {
+				m := sv.phases[axis][side]
+				dst := e.rank[m.dir]
+				if dst < 0 {
+					continue
+				}
+				tag := dirIndex(m.dir)*tagStride + 50 + axis
+				e.reqs = append(e.reqs, e.comm.Isend(dst, tag, m.send.flat))
+				n++
 			}
+		}
+		sv.AddCall(call + time.Since(t0))
+		t0 = time.Now()
+		if sv.persistent {
+			mpi.Waitall(pr.all)
+		} else {
+			e.Wait()
+		}
+		sv.AddWait(time.Since(t0))
+		if sv.degraded {
+			t0 = time.Now()
+			for side := 0; side < 2; side++ {
+				m := sv.phases[axis][side]
+				if e.rank[m.dir] >= 0 {
+					m.recv.scatter(sv.bs)
+				}
+			}
+			sv.AddPack(time.Since(t0))
 		}
 	}
+	sv.RecordStart()
 	return n
 }
 
-// Close releases the mmap views.
+// Complete is a no-op: Start runs the serialized phases to completion.
+func (sv *ShiftView) Complete() {}
+
+// Close releases the mmap views and persistent endpoints.
 func (sv *ShiftView) Close() error {
 	var first error
 	for axis := 0; axis < 3; axis++ {
@@ -296,6 +400,10 @@ func (sv *ShiftView) Close() error {
 				}
 			}
 		}
+		for _, r := range sv.preqs[axis].all {
+			r.Free()
+		}
+		sv.preqs[axis] = phaseReqs{}
 	}
 	return first
 }

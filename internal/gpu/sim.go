@@ -90,7 +90,7 @@ type Sim struct {
 	dec  *core.BrickDecomp
 	bs   *core.BrickStorage
 	info *core.BrickInfo
-	ex   *core.Exchanger
+	ex   *core.BrickExchanger
 	ev   *core.ExchangeView
 	pt   *PageTable
 

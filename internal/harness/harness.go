@@ -128,6 +128,11 @@ type Config struct {
 	// from the BRICK_WORKERS environment variable, then GOMAXPROCS; 1
 	// disables intra-rank parallelism.
 	Workers int
+	// DisablePersistent falls back to the legacy per-step Isend/Irecv path
+	// through the matching engine instead of persistent pre-matched plans
+	// (the -persistent=false escape hatch). The zero value — persistent
+	// plans on — is the default for every CPU implementation.
+	DisablePersistent bool
 	// Metrics, when non-nil, receives the run's full observability stream:
 	// per-step phase histograms (impl/rank/phase labels plus a rank="all"
 	// aggregate), per-message mpi latency/size/match-wait histograms,
@@ -188,6 +193,11 @@ type Result struct {
 	// GStencils is throughput in 1e9 stencil updates per second over the
 	// global domain (paper's GStencil/s).
 	GStencils float64
+
+	// Plan summarizes rank 0's compiled exchange plan (nil for GPU
+	// implementations, whose exchanges are modeled). All ranks of the
+	// periodic experiments compile plans with identical shape.
+	Plan *core.PlanSummary
 
 	// Modeled marks GPU results whose times come from the simulator.
 	Modeled bool
@@ -286,6 +296,25 @@ func describeMetrics(reg *metrics.Registry) {
 	reg.Describe(metrics.MPISentBytesTotal, "Payload bytes of initiated sends.")
 	reg.Describe(metrics.MPIRecvMsgsTotal, "Receives completed at Wait.")
 	reg.Describe(metrics.MPIRecvBytesTotal, "Payload bytes of completed receives.")
+	reg.Describe(metrics.PlansBuiltTotal, "Compiled exchange plans built; starts_total/plans_built_total is the reuse factor.")
+	reg.Describe(metrics.PlanStartsTotal, "Times a compiled exchange plan was started.")
+	reg.Describe(metrics.PlanStartBytesTotal, "Payload bytes posted by plan starts.")
+}
+
+// recordPlan captures an exchanger's compiled plan into the result and
+// mirrors its reuse counters into the registry (nil registry records
+// nothing).
+func recordPlan(res *Result, reg *metrics.Registry, im Impl, rank int, ex core.Exchanger) {
+	sum := ex.Plan().Summary()
+	res.Plan = &sum
+	if reg == nil {
+		return
+	}
+	st := ex.Stats()
+	lb := metrics.Labels{"impl": im.String(), "rank": strconv.Itoa(rank), "variant": sum.Variant}
+	reg.Counter(metrics.PlansBuiltTotal, lb).Add(1)
+	reg.Counter(metrics.PlanStartsTotal, lb).Add(st.Starts)
+	reg.Counter(metrics.PlanStartBytesTotal, lb).Add(st.StartBytes)
 }
 
 // Run executes the experiment and returns aggregated metrics.

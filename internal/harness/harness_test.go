@@ -194,7 +194,11 @@ func TestMetricsPopulated(t *testing.T) {
 }
 
 func TestPackFreeImplsReportZeroPack(t *testing.T) {
-	for _, im := range []Impl{Basic, Layout, MemMap, Shift, LayoutOL} {
+	// Shift is excluded: its multi-span slab windows use copy-based views
+	// (gather/scatter on every exchange), and since the exchanger-internal
+	// phase split those real copies are charged to Pack instead of hiding
+	// inside Wait.
+	for _, im := range []Impl{Basic, Layout, MemMap, LayoutOL} {
 		res, err := Run(baseConfig(im))
 		if err != nil {
 			t.Fatalf("%v: %v", im, err)

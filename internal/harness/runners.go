@@ -48,21 +48,26 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 		bs = dec.Allocate()
 	}
 	info := dec.BrickInfo()
-	ex := core.NewExchanger(dec, cart)
-	var ev *core.ExchangeView
-	if cfg.Impl == MemMap {
-		if ev, err = core.NewExchangeView(ex, bs); err != nil {
+	bx := core.NewExchanger(dec, cart)
+	popt := core.WithPersistentPlan(!cfg.DisablePersistent)
+	var ex core.Exchanger
+	switch cfg.Impl {
+	case MemMap:
+		ev, err := core.NewExchangeView(bx, bs, popt)
+		if err != nil {
 			return res, err
 		}
-		defer ev.Close()
-	}
-	var sv *core.ShiftView
-	if cfg.Impl == Shift {
-		if sv, err = core.NewShiftView(ex, bs); err != nil {
+		ex = ev
+	case Shift:
+		sv, err := core.NewShiftView(bx, bs, popt)
+		if err != nil {
 			return res, err
 		}
-		defer sv.Close()
+		ex = sv
+	default:
+		ex = core.NewLayoutExchange(bx, bs, popt)
 	}
+	defer ex.Close()
 
 	org := rankOrigin(cfg, cart)
 	for z := 0; z < cfg.Dom[2]; z++ {
@@ -138,88 +143,54 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	}
 	step := func(s int, timed bool) {
 		comm.Barrier()
-		var call, wait, calc time.Duration
+		var calc time.Duration
 		src := core.NewBrick(info, bs, cur)
 		dst := core.NewBrick(info, bs, 1-cur)
+		exchange := s%period == 0
 		if overlap {
-			// Post the exchange, compute interior bricks while it is in
-			// flight, wait, then compute the surface bricks. In flight the
-			// exchange reads only surface bricks and writes only ghost
+			// Start the exchange, compute interior bricks while it is in
+			// flight, complete, then compute the surface bricks. In flight
+			// the exchange reads only surface bricks and writes only ghost
 			// bricks, both disjoint from the interior span.
+			ex.Start()
 			t0 := time.Now()
-			if cfg.Impl == MemMap {
-				ev.Begin()
-			} else {
-				ex.PostReceives(bs)
-				ex.PostSends(bs)
-			}
-			call = time.Since(t0)
-			t0 = time.Now()
 			inter := dec.Interior()
 			stencil.ApplyBricksRangeWorkers(dst, src, dec, cfg.Stencil, 0, inter.Start, inter.End(), wk)
 			calc = time.Since(t0)
-			t0 = time.Now()
-			if cfg.Impl == MemMap {
-				ev.End()
-			} else {
-				ex.Wait()
-			}
-			wait = time.Since(t0)
+			ex.Complete()
 			t0 = time.Now()
 			stencil.ApplyBricksSpans(dst, src, dec, cfg.Stencil, 0, surfSpans, wk)
-			cur = 1 - cur
 			calc += time.Since(t0)
-			if timed {
-				res.Calc.AddDuration(calc)
-				res.Pack.Add(0)
-				res.Call.AddDuration(call)
-				res.Wait.AddDuration(wait)
-				res.Comm.AddDuration(call + wait)
-				res.Network.Add(netPerExchange)
-				res.CommSynth.Add(netPerExchange)
-				po.observeStep(calc, 0, call, wait)
+		} else {
+			if exchange {
+				ex.Start()
+				ex.Complete()
 			}
-			return
-		}
-		if s%period == 0 {
+			comm.Barrier() // isolate the exchange phase from computation
 			t0 := time.Now()
-			switch {
-			case cfg.Impl == MemMap:
-				ev.Exchange()
-			case cfg.Impl == Shift:
-				sv.Exchange()
-			default:
-				ex.PostReceives(bs)
-				ex.PostSends(bs)
-				call = time.Since(t0)
-				t0 = time.Now()
-				ex.Wait()
-				wait = time.Since(t0)
-			}
-			if cfg.Impl == MemMap || cfg.Impl == Shift {
-				// These exchanges post and wait internally; report the
-				// whole duration as wait.
-				wait = time.Since(t0)
-			}
+			stencil.ApplyBricksParallel(dst, src, dec, cfg.Stencil, marg[s%period], wk)
+			calc = time.Since(t0)
 		}
-		comm.Barrier() // isolate the exchange phase from computation
-		t0 := time.Now()
-		stencil.ApplyBricksParallel(dst, src, dec, cfg.Stencil, marg[s%period], wk)
 		cur = 1 - cur
-		calc = time.Since(t0)
+		// Drain the exchanger's internal phase split even on untimed warmup
+		// steps, so warmup time never leaks into the first timed step.
+		tm := ex.Timings()
 		if timed {
 			res.Calc.AddDuration(calc)
-			res.Pack.Add(0)
-			res.Call.AddDuration(call)
-			res.Wait.AddDuration(wait)
-			res.Comm.AddDuration(call + wait)
+			res.Pack.AddDuration(tm.Pack)
+			res.Call.AddDuration(tm.Call)
+			res.Wait.AddDuration(tm.Wait)
+			res.Comm.AddDuration(tm.Pack + tm.Call + tm.Wait)
 			net := 0.0
-			if s%period == 0 {
+			if exchange {
 				net = netPerExchange
 			}
 			res.Network.Add(net)
-			res.CommSynth.Add(net) // pack-free: no on-node movement
-			po.observeStep(calc, 0, call, wait)
+			// Pack is zero on the pack-free brick paths (the timer only runs
+			// when staging work exists, e.g. the shmem-degraded fallback), so
+			// CommSynth stays measured on-node movement + modeled wire time.
+			res.CommSynth.Add(tm.Pack.Seconds() + net)
+			po.observeStep(calc, tm.Pack, tm.Call, tm.Wait)
 		}
 	}
 	for s := 0; s < cfg.Warmup; s++ {
@@ -228,6 +199,7 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	for s := 0; s < cfg.Steps; s++ {
 		step(s, true)
 	}
+	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), ex)
 	res.Checksum = checksumBricks(dec, bs, cur, cfg)
 	return res, nil
 }
@@ -245,8 +217,6 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			}
 		}
 	}
-	var packEx [2]*grid.PackExchanger
-	var typeEx [2]*grid.TypesExchanger
 	var sizes []int
 	var engineElems int
 	for _, s := range layout.Regions(3) {
@@ -254,14 +224,22 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 		sizes = append(sizes, 8*regionCount(lo, hi))
 		engineElems += 2 * regionCount(lo, hi)
 	}
+	// One exchanger per buffer of the double-buffered grid. Construction
+	// order matters with persistent plans: every rank builds exs[0] fully
+	// before exs[1], so the duplicate-key endpoints pair exchanger-to-
+	// exchanger across ranks (FIFO in registration order).
+	popt := core.WithPersistentPlan(!cfg.DisablePersistent)
+	var exs [2]core.Exchanger
 	switch cfg.Impl {
 	case MPITypes:
-		typeEx[0] = grid.NewTypesExchanger(gs[0], cart)
-		typeEx[1] = grid.NewTypesExchanger(gs[1], cart)
+		exs[0] = grid.NewTypesExchanger(gs[0], cart, popt)
+		exs[1] = grid.NewTypesExchanger(gs[1], cart, popt)
 	default:
-		packEx[0] = grid.NewPackExchanger(gs[0], cart)
-		packEx[1] = grid.NewPackExchanger(gs[1], cart)
+		exs[0] = grid.NewPackExchanger(gs[0], cart, popt)
+		exs[1] = grid.NewPackExchanger(gs[1], cart, popt)
 	}
+	defer exs[0].Close()
+	defer exs[1].Close()
 	res.MsgsPerExchange = len(sizes)
 	for _, n := range sizes {
 		res.DataBytes += int64(n)
@@ -286,17 +264,13 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	overlapTypes := cfg.Impl == MPITypes && period == 1
 	step := func(s int, timed bool) {
 		comm.Barrier()
-		var tm grid.PackTimings
 		var calc time.Duration
 		exchange := s%period == 0
+		ex := exs[cur]
 		switch {
 		case cfg.Impl == YASKOL || overlapTypes:
 			if exchange {
-				if cfg.Impl == MPITypes {
-					typeEx[cur].Begin(&tm)
-				} else {
-					packEx[cur].Begin(&tm)
-				}
+				ex.Start()
 			}
 			// Interior (ghost-independent) computation overlaps the wait.
 			t0 := time.Now()
@@ -307,22 +281,15 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			stencil.ApplyGridRegionWorkers(gs[1-cur], gs[cur], cfg.Stencil, lo, hi, wk)
 			calc = time.Since(t0)
 			if exchange {
-				if cfg.Impl == MPITypes {
-					typeEx[cur].End(&tm)
-				} else {
-					packEx[cur].End(&tm)
-				}
+				ex.Complete()
 			}
 			t0 = time.Now()
 			stencil.ApplyGridShellWorkers(gs[1-cur], gs[cur], cfg.Stencil, 0, lo, hi, wk)
 			calc += time.Since(t0)
 		default:
 			if exchange {
-				if cfg.Impl == MPITypes {
-					typeEx[cur].Exchange(&tm)
-				} else {
-					packEx[cur].Exchange(&tm)
-				}
+				ex.Start()
+				ex.Complete()
 			}
 			comm.Barrier() // isolate the exchange phase from computation
 			t0 := time.Now()
@@ -330,6 +297,8 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			calc = time.Since(t0)
 		}
 		cur = 1 - cur
+		// Drain the used exchanger's phase split even on warmup steps.
+		tm := ex.Timings()
 		if timed {
 			res.Calc.AddDuration(calc)
 			res.Pack.AddDuration(tm.Pack)
@@ -351,6 +320,10 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	for s := 0; s < cfg.Steps; s++ {
 		step(s, true)
 	}
+	// Both double-buffer exchangers count toward the plan-reuse metrics;
+	// the result keeps exs[0]'s summary (the two plans are identical).
+	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), exs[1])
+	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), exs[0])
 	res.Checksum = checksumGrid(gs[cur], cfg)
 	return res, nil
 }

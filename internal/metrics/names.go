@@ -18,6 +18,19 @@ const (
 	// (labels: impl).
 	MsgsPerExchangeGauge = "brick_msgs_per_exchange"
 
+	// Plan-reuse counters of the persistent exchange lifecycle, mirrored
+	// from each rank's Exchanger.Stats() at the end of a harness run
+	// (labels: impl, rank, variant). One plan built with many starts is the
+	// point of the persistent design: starts_total / plans_built_total is
+	// the reuse factor.
+	//
+	// PlansBuiltTotal: compiled exchange plans built.
+	PlansBuiltTotal = "exchange_plans_built_total"
+	// PlanStartsTotal: times a compiled plan was started.
+	PlanStartsTotal = "exchange_plan_starts_total"
+	// PlanStartBytesTotal: payload bytes posted by those starts.
+	PlanStartBytesTotal = "exchange_plan_start_bytes_total"
+
 	// MPISendSeconds: histogram of per-message latency from Isend post to
 	// delivery into the matched receive buffer (labels: rank).
 	MPISendSeconds = "mpi_send_seconds"

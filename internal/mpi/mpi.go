@@ -40,6 +40,7 @@ type World struct {
 	bar    barrier
 	red    reducer
 	gather gatherBuf
+	pers   persistReg
 	rec    *trace.Recorder
 	reg    *metrics.Registry
 }
@@ -98,6 +99,7 @@ func NewWorld(size int) *World {
 	w.bar.init(size)
 	w.red.init(size)
 	w.gather.init(size)
+	w.pers.init()
 	return w
 }
 
@@ -169,10 +171,9 @@ type Traffic struct {
 
 // TrafficSnapshot atomically drains the traffic counters, returning the
 // counts accumulated since the previous snapshot. Each counter is
-// read-and-zeroed in a single atomic swap, so unlike the deprecated
-// read-getters-then-ResetCounters pattern, increments from concurrently
+// read-and-zeroed in a single atomic swap, so increments from concurrently
 // in-flight operations are never lost — every count lands in exactly one
-// snapshot.
+// snapshot. This is the only way to read the counters.
 func (c *Comm) TrafficSnapshot() Traffic {
 	return Traffic{
 		SentMsgs:  c.sentMsgs.Swap(0),
@@ -182,40 +183,18 @@ func (c *Comm) TrafficSnapshot() Traffic {
 	}
 }
 
-// SentMessages returns the number of point-to-point sends initiated since
-// the last snapshot or reset.
-//
-// Deprecated: use TrafficSnapshot — reading individual getters and then
-// resetting loses counts from concurrently in-flight operations.
-func (c *Comm) SentMessages() int { return int(c.sentMsgs.Load()) }
-
-// SentBytes returns the payload bytes of those sends.
-//
-// Deprecated: use TrafficSnapshot.
-func (c *Comm) SentBytes() int64 { return c.sentBytes.Load() }
-
-// RecvMessages returns the number of receives completed (counted at Wait).
-//
-// Deprecated: use TrafficSnapshot.
-func (c *Comm) RecvMessages() int { return int(c.recvMsgs.Load()) }
-
-// RecvBytes returns the payload bytes of those receives.
-//
-// Deprecated: use TrafficSnapshot.
-func (c *Comm) RecvBytes() int64 { return c.recvBytes.Load() }
-
-// ResetCounters zeroes the traffic counters.
-//
-// Deprecated: use TrafficSnapshot — the four stores are not atomic as a
-// group, so a reset racing an in-flight exchange can drop its counts.
-func (c *Comm) ResetCounters() { c.TrafficSnapshot() }
-
-// Request is an in-flight nonblocking operation. Wait blocks until the
-// transfer completed; for receives it then reports the element count.
+// Request is an in-flight nonblocking operation (Isend/Irecv), or an
+// inactive-until-Start persistent operation (SendInit/RecvInit). Wait
+// blocks until the transfer completed; for receives it then reports the
+// element count. Persistent requests are reusable: after Wait they return
+// to the inactive state and may be Started again.
 type Request struct {
 	done <-chan struct{}
 	post *posted // non-nil for receives; post.env is set before done closes
 	comm *Comm   // owner, for receive accounting at Wait
+
+	pc    *pchan // non-nil for persistent requests (see persistent.go)
+	psend bool   // persistent direction: true = send endpoint
 }
 
 // envelope is a send sitting in a destination inbox awaiting a matching
@@ -344,8 +323,12 @@ func deliver(env *envelope, p *posted) {
 }
 
 // Wait blocks until the request completes. For receives it returns the
-// number of elements received; for sends it returns 0.
+// number of elements received; for sends it returns 0. A persistent
+// request becomes inactive again and may be re-Started.
 func (r *Request) Wait() int {
+	if r.pc != nil {
+		return r.waitPersistent()
+	}
 	var m *commMetrics
 	if r.comm != nil {
 		m = r.comm.m

@@ -1,0 +1,316 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/bricklab/brick/internal/trace"
+)
+
+// Persistent requests (SendInit/RecvInit + Start/Wait) implement the
+// MPI_Send_init/MPI_Recv_init pattern: the two endpoints of a repeating
+// transfer are matched ONCE, at plan-build time, into a pre-wired
+// rank-to-rank channel. Every subsequent Start/Wait cycle reuses that
+// channel: no inbox tag matching, no envelope or request allocation, no
+// receive-buffer allocation — the per-step path performs exactly one copy
+// (sender buffer → receiver buffer) plus channel token handoffs.
+//
+// Matching rules: a SendInit on rank S with (dst=R, tag=t) pairs with the
+// RecvInit on rank R with (src=S, tag=t). When several persistent endpoints
+// share the same (src, dst, tag) triple — e.g. double-buffered exchangers
+// that build one plan per buffer — they pair in registration order, so all
+// ranks must build their plans in the same program order (the same rule MPI
+// imposes on communicator construction). Wildcards (AnySource/AnyTag) are
+// not supported for persistent endpoints.
+//
+// Persistent and one-shot traffic never cross-match: a persistent send is
+// invisible to Irecv and vice versa, even with equal tags.
+
+// endpointKey identifies one directed persistent channel.
+type endpointKey struct {
+	src, dst, tag int
+}
+
+// pchan is the pre-wired channel shared by a matched SendInit/RecvInit
+// pair. One step of the protocol: both sides Start; whichever side starts
+// second performs the copy (mirroring the one-shot deliver) and releases
+// one completion token per side. Each side's Wait consumes its own token
+// and returns the request to the inactive state. Because Start panics on
+// an active request (Wait must intervene, as in MPI), each side's token
+// channel holds at most one token, so the cap-1 channels never block and
+// the steady-state path allocates nothing.
+type pchan struct {
+	key endpointKey
+
+	mu         sync.Mutex
+	sendBuf    []float64
+	recvBuf    []float64
+	sendActive bool          // send Started, not yet Waited
+	recvActive bool          // recv Started, not yet Waited
+	sendFired  bool          // send Started in the current cycle, cleared at delivery
+	recvFired  bool          // recv Started in the current cycle, cleared at delivery
+	sendStart  time.Time     // set at send Start when sender metrics enabled
+	sendDone   chan struct{} // cap 1: delivery token for the send side
+	recvDone   chan struct{} // cap 1: delivery token for the recv side
+	sendComm   *Comm         // nil until the send side registered
+	recvComm   *Comm         // nil until the recv side registered
+	sendLabel  string
+	recvLabel  string
+}
+
+func newPchan(key endpointKey) *pchan {
+	return &pchan{key: key, sendDone: make(chan struct{}, 1), recvDone: make(chan struct{}, 1)}
+}
+
+// persistReg is the world-level table of not-yet-matched persistent
+// endpoints. It is touched only at plan build/teardown time.
+type persistReg struct {
+	mu    sync.Mutex
+	sends map[endpointKey][]*pchan
+	recvs map[endpointKey][]*pchan
+}
+
+func (pr *persistReg) init() {
+	pr.sends = map[endpointKey][]*pchan{}
+	pr.recvs = map[endpointKey][]*pchan{}
+}
+
+// pop removes and returns the oldest pending endpoint for key, or nil.
+func pop(m map[endpointKey][]*pchan, key endpointKey) *pchan {
+	list := m[key]
+	if len(list) == 0 {
+		return nil
+	}
+	pc := list[0]
+	if len(list) == 1 {
+		delete(m, key)
+	} else {
+		m[key] = list[1:]
+	}
+	return pc
+}
+
+// remove deletes pc from a pending list (teardown of an unmatched endpoint).
+func remove(m map[endpointKey][]*pchan, key endpointKey, pc *pchan) {
+	list := m[key]
+	for i, c := range list {
+		if c == pc {
+			list = append(list[:i], list[i+1:]...)
+			if len(list) == 0 {
+				delete(m, key)
+			} else {
+				m[key] = list
+			}
+			return
+		}
+	}
+}
+
+// SendInit creates a persistent send endpoint: buf will be transmitted to
+// rank dst with the given tag on every Start/Wait cycle. The endpoint is
+// matched against the destination's RecvInit once, at creation time (or
+// when the peer registers); per-step Start/Wait then bypass the matching
+// engine entirely. The returned request is inactive until Start.
+func (c *Comm) SendInit(dst, tag int, buf []float64) *Request {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: SendInit to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	if tag < 0 {
+		panic("mpi: send tag must be non-negative")
+	}
+	key := endpointKey{src: c.rank, dst: dst, tag: tag}
+	pr := &c.world.pers
+	pr.mu.Lock()
+	pc := pop(pr.recvs, key)
+	if pc == nil {
+		pc = newPchan(key)
+		pr.sends[key] = append(pr.sends[key], pc)
+	}
+	pr.mu.Unlock()
+	pc.mu.Lock()
+	pc.sendBuf = buf
+	pc.sendComm = c
+	if c.world.rec != nil {
+		pc.sendLabel = fmt.Sprintf("psend->%d tag=%d", dst, tag)
+	}
+	pc.checkSizesLocked()
+	pc.mu.Unlock()
+	return &Request{comm: c, pc: pc, psend: true}
+}
+
+// RecvInit creates a persistent receive endpoint: every Start/Wait cycle
+// fills buf with the matched sender's data. src must be a concrete rank
+// (no AnySource) and tag a concrete tag (no AnyTag).
+func (c *Comm) RecvInit(src, tag int, buf []float64) *Request {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: RecvInit from invalid rank %d (size %d)", src, c.world.size))
+	}
+	if tag < 0 {
+		panic("mpi: RecvInit tag must be a concrete non-negative tag")
+	}
+	key := endpointKey{src: src, dst: c.rank, tag: tag}
+	pr := &c.world.pers
+	pr.mu.Lock()
+	pc := pop(pr.sends, key)
+	if pc == nil {
+		pc = newPchan(key)
+		pr.recvs[key] = append(pr.recvs[key], pc)
+	}
+	pr.mu.Unlock()
+	pc.mu.Lock()
+	pc.recvBuf = buf
+	pc.recvComm = c
+	if c.world.rec != nil {
+		pc.recvLabel = fmt.Sprintf("precv<-%d tag=%d", src, tag)
+	}
+	pc.checkSizesLocked()
+	pc.mu.Unlock()
+	return &Request{comm: c, pc: pc, psend: false}
+}
+
+// checkSizesLocked validates buffer compatibility as soon as both sides are
+// known — plan-build time, not first-transfer time.
+func (pc *pchan) checkSizesLocked() {
+	if pc.sendBuf != nil && pc.recvBuf != nil && len(pc.sendBuf) > len(pc.recvBuf) {
+		panic(fmt.Sprintf("mpi: persistent message (src %d dst %d tag %d) of %d elements overflows receive buffer of %d",
+			pc.key.src, pc.key.dst, pc.key.tag, len(pc.sendBuf), len(pc.recvBuf)))
+	}
+}
+
+// deliverLocked runs on whichever side started second in a cycle: copy,
+// clear the cycle's fired flags, and release one completion token per
+// side. Called with pc.mu held. The token channels are cap 1 and provably
+// never full here: a side's previous token must have been consumed by its
+// Wait before its Start (enforced by the active-flag panic) could arm this
+// delivery.
+func (pc *pchan) deliverLocked() {
+	if pc.sendBuf == nil || pc.recvBuf == nil {
+		panic(fmt.Sprintf("mpi: persistent channel (src %d dst %d tag %d) started before both endpoints initialized",
+			pc.key.src, pc.key.dst, pc.key.tag))
+	}
+	copy(pc.recvBuf, pc.sendBuf)
+	if m := pc.sendComm.m; m != nil && !pc.sendStart.IsZero() {
+		m.sendSeconds.Observe(time.Since(pc.sendStart).Seconds())
+	}
+	pc.sendFired, pc.recvFired = false, false
+	pc.sendDone <- struct{}{}
+	pc.recvDone <- struct{}{}
+}
+
+// Start activates a persistent request for one transfer. The request must
+// be inactive: starting again before Wait panics (as in MPI). Data becomes
+// visible in the receive buffer only after the receiver's Wait returns.
+func (r *Request) Start() {
+	pc := r.pc
+	if pc == nil {
+		panic("mpi: Start on a non-persistent request")
+	}
+	c := r.comm
+	if r.psend {
+		c.sentMsgs.Add(1)
+		c.sentBytes.Add(int64(8 * len(pc.sendBuf)))
+		if m := c.m; m != nil {
+			m.sendBytes.Observe(float64(8 * len(pc.sendBuf)))
+		}
+		if rec := c.world.rec; rec != nil {
+			rec.Begin(c.rank, trace.KindSend, pc.sendLabel, pc.key.dst, int64(8*len(pc.sendBuf)))()
+		}
+		pc.mu.Lock()
+		if pc.sendActive {
+			pc.mu.Unlock()
+			panic("mpi: persistent send started twice without Wait")
+		}
+		pc.sendActive, pc.sendFired = true, true
+		if c.m != nil {
+			pc.sendStart = time.Now()
+		}
+		if pc.recvFired {
+			pc.deliverLocked()
+		}
+		pc.mu.Unlock()
+		return
+	}
+	if rec := c.world.rec; rec != nil {
+		rec.Begin(c.rank, trace.KindRecv, pc.recvLabel, pc.key.src, int64(8*len(pc.recvBuf)))()
+	}
+	pc.mu.Lock()
+	if pc.recvActive {
+		pc.mu.Unlock()
+		panic("mpi: persistent receive started twice without Wait")
+	}
+	pc.recvActive, pc.recvFired = true, true
+	if pc.sendFired {
+		pc.deliverLocked()
+	}
+	pc.mu.Unlock()
+}
+
+// Startall starts every request in the slice (MPI_Startall). Nil entries
+// are skipped.
+func Startall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Start()
+		}
+	}
+}
+
+// waitPersistent completes one Start cycle: consume this side's completion
+// token, return the request to the inactive state, and on the receive side
+// account the delivered payload.
+func (r *Request) waitPersistent() int {
+	c := r.comm
+	pc := r.pc
+	var t0 time.Time
+	m := c.m
+	if m != nil {
+		t0 = time.Now()
+	}
+	var n int
+	if r.psend {
+		<-pc.sendDone
+		pc.mu.Lock()
+		pc.sendActive = false
+		pc.mu.Unlock()
+	} else {
+		<-pc.recvDone
+		pc.mu.Lock()
+		pc.recvActive = false
+		n = len(pc.sendBuf)
+		pc.mu.Unlock()
+	}
+	if m != nil {
+		m.waitSeconds.Observe(time.Since(t0).Seconds())
+	}
+	if r.psend {
+		return 0
+	}
+	c.recvMsgs.Add(1)
+	c.recvBytes.Add(int64(8 * n))
+	if m != nil {
+		m.recvBytes.Observe(float64(8 * n))
+	}
+	return n
+}
+
+// Free tears down a persistent endpoint. An endpoint whose peer never
+// registered is removed from the pending table, so a later plan may reuse
+// its (src, dst, tag) triple without cross-matching stale state. Freeing a
+// matched endpoint is a no-op beyond deactivating this request. Free must
+// not be called with a Start outstanding.
+func (r *Request) Free() {
+	pc := r.pc
+	if pc == nil {
+		return
+	}
+	pr := &r.comm.world.pers
+	pr.mu.Lock()
+	if r.psend {
+		remove(pr.sends, pc.key, pc)
+	} else {
+		remove(pr.recvs, pc.key, pc)
+	}
+	pr.mu.Unlock()
+	r.pc = nil
+}

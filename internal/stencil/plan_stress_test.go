@@ -1,0 +1,94 @@
+package stencil_test
+
+import (
+	"testing"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/mpi"
+	"github.com/bricklab/brick/internal/stencil"
+)
+
+// runPlanWorld mirrors runOverlapWorld but drives one compiled persistent
+// plan through the unified Start/Complete lifecycle for every step: Start
+// from the rank body, Complete from a separate goroutine racing the
+// interior worker tiles — the harness's overlap structure with plan reuse.
+// workers == 1 is the serial exchange-then-compute reference.
+func runPlanWorld(t *testing.T, st stencil.Stencil, steps, workers int) [][]float64 {
+	t.Helper()
+	const ranks = 8
+	fields := make([][]float64, ranks)
+	errs := make([]error, ranks)
+	w := mpi.NewWorld(ranks)
+	w.Run(func(c *mpi.Comm) {
+		cart := mpi.NewCart(c, []int{2, 2, 2}, []bool{true, true, true})
+		dec, err := core.NewBrickDecomp(core.Shape{4, 4, 4}, [3]int{16, 16, 16}, 4, 2, layout.Surface3D())
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		bs := dec.Allocate()
+		ext := dec.ExtDim()
+		for k := 0; k < ext[2]; k++ {
+			for j := 0; j < ext[1]; j++ {
+				for i := 0; i < ext[0]; i++ {
+					x := uint64(((c.Rank()*ext[2]+k)*ext[1]+j)*ext[0]+i+1) * 0x9E3779B97F4A7C15
+					dec.SetElem(bs, 0, i, j, k, float64(x%997)/991.0-0.5)
+				}
+			}
+		}
+		info := dec.BrickInfo()
+		// One plan, compiled once, reused across every concurrent step.
+		lx := core.NewLayoutExchange(core.NewExchanger(dec, cart), bs)
+		defer lx.Close()
+		inter := dec.Interior()
+		var surf [][2]int
+		for _, s := range dec.Order() {
+			if sp := dec.Surface(s); sp.NBricks > 0 {
+				surf = append(surf, [2]int{sp.Start, sp.End()})
+			}
+		}
+		for s := 0; s < steps; s++ {
+			src := core.NewBrick(info, bs, s%2)
+			dst := core.NewBrick(info, bs, 1-s%2)
+			c.Barrier()
+			if workers > 1 {
+				lx.Start()
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					lx.Complete()
+				}()
+				stencil.ApplyBricksRangeWorkers(dst, src, dec, st, 0, inter.Start, inter.End(), workers)
+				<-done
+				stencil.ApplyBricksSpans(dst, src, dec, st, 0, surf, workers)
+			} else {
+				lx.Exchange()
+				stencil.ApplyBricks(dst, src, dec, st, 0)
+			}
+		}
+		if st := lx.Stats(); st.Starts != int64(steps) {
+			t.Errorf("rank %d: plan starts %d, want %d", c.Rank(), st.Starts, steps)
+		}
+		fields[c.Rank()] = dec.ToArray(bs, steps%2)
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return fields
+}
+
+// TestPersistentPlanStress reuses one compiled persistent plan across many
+// concurrent timesteps on a full 8-rank world. Under -race this guards the
+// persistent protocol's cross-goroutine handoff: Start posts from the rank
+// body while Complete blocks on a second goroutine racing live worker
+// tiles, step after step over the same pre-matched channels. The result
+// must stay bit-identical to the serial order.
+func TestPersistentPlanStress(t *testing.T) {
+	st := stencil.Star7()
+	serial := runPlanWorld(t, st, 4, 1)
+	overlap := runPlanWorld(t, st, 4, 4)
+	compareWorlds(t, st.Name, overlap, serial)
+}
