@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-allocs bench-json bench-check
+.PHONY: all build vet fmt test race soak bench bench-allocs bench-json bench-check
 
 all: build vet fmt test
 
@@ -26,6 +26,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# soak runs the fault-injection soak under the race detector: every CPU
+# implementation on 8 ranks, once clean and once under benign faults
+# (per-send delays with jitter, a one-shot stall, forced MemMap
+# degradation) with the watchdog armed, asserting bit-identical checksums.
+# See docs/robustness.md.
+soak:
+	$(GO) test -race -count=1 -v -run 'TestSoak' ./internal/harness/
 
 # One iteration of every benchmark as a smoke test (no unit tests: -run '^$').
 bench:

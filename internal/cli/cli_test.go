@@ -3,6 +3,7 @@ package cli
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/bricklab/brick/internal/harness"
 )
@@ -63,6 +64,27 @@ func TestParseStencil(t *testing.T) {
 	}
 	if _, err := ParseStencil("27pt"); err == nil {
 		t.Error("unknown stencil accepted")
+	}
+}
+
+func TestFaultFlagsApply(t *testing.T) {
+	c := &Common{Stencil: "7pt", Machine: "local", Ghost: 4, Brick: 4,
+		Fault: "delay:rank=*:mean=1ms", FaultSeed: 9, Watchdog: 2 * time.Second}
+	r, err := c.Resolve("test", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg harness.Config
+	c.Apply(&cfg, r)
+	if cfg.Fault != c.Fault || cfg.FaultSeed != 9 || cfg.Watchdog != 2*time.Second {
+		t.Errorf("fault flags not applied: %+v", cfg)
+	}
+}
+
+func TestResolveRejectsBadFaultSpec(t *testing.T) {
+	c := &Common{Stencil: "7pt", Machine: "local", Fault: "explode:rank=1"}
+	if _, err := c.Resolve("test", false); err == nil {
+		t.Error("malformed fault spec accepted")
 	}
 }
 

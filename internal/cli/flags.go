@@ -4,8 +4,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/fault"
 	"github.com/bricklab/brick/internal/harness"
 	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/netmodel"
@@ -26,6 +28,9 @@ type Common struct {
 	Persistent bool
 	MetricsOut string
 	PprofAddr  string
+	Fault      string
+	FaultSeed  int64
+	Watchdog   time.Duration
 }
 
 // RegisterCommon installs the shared flags on the default flag set.
@@ -42,6 +47,9 @@ func RegisterCommon(ghostDefault, itersDefault int) *Common {
 	flag.BoolVar(&c.Persistent, "persistent", true, "use persistent pre-matched exchange plans; false falls back to per-step tag matching")
 	flag.StringVar(&c.MetricsOut, "metrics-out", "", "write a metrics snapshot JSON (brick-metrics/v1) to this file")
 	flag.StringVar(&c.PprofAddr, "pprof-addr", "", "serve /metrics, /metrics.json, /debug/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&c.Fault, "fault", "", "fault-injection spec, e.g. delay:rank=*:mean=200us or panic:rank=1:step=3 (see docs/robustness.md)")
+	flag.Int64Var(&c.FaultSeed, "fault-seed", 0, "seed for the fault injector's deterministic jitter")
+	flag.DurationVar(&c.Watchdog, "watchdog", 0, "abort with a stall report if no exchange progress for this long (0 disables)")
 	return c
 }
 
@@ -64,6 +72,10 @@ func (c *Common) Resolve(prog string, needRegistry bool) (Resolved, error) {
 		return r, err
 	}
 	if r.Machine, err = ParseMachine(c.Machine); err != nil {
+		return r, err
+	}
+	// Reject a malformed fault spec here, before any world starts.
+	if _, err = fault.Parse(c.Fault, c.FaultSeed); err != nil {
 		return r, err
 	}
 	if c.MetricsOut != "" || c.PprofAddr != "" || needRegistry {
@@ -89,6 +101,9 @@ func (c *Common) Apply(cfg *harness.Config, r Resolved) {
 	cfg.Workers = c.Workers
 	cfg.Metrics = r.Registry
 	cfg.DisablePersistent = !c.Persistent
+	cfg.Fault = c.Fault
+	cfg.FaultSeed = c.FaultSeed
+	cfg.Watchdog = c.Watchdog
 }
 
 // Finish writes the metrics snapshot if -metrics-out was given.

@@ -123,12 +123,32 @@ func NewMappedBrickStorage(shape Shape, n, fields int) (*BrickStorage, error) {
 	if err != nil {
 		return nil, err
 	}
+	return storageOnArena(arena, shape, elems, fields), nil
+}
+
+// NewUnmappedBrickStorage allocates arena storage whose views are forced
+// copy-based (Mapped() == false on every platform) — the storage shape a
+// MemMap run degrades to when shared-memory mapping fails. Fault injection
+// uses it to exercise the degraded exchange deterministically.
+func NewUnmappedBrickStorage(shape Shape, n, fields int) (*BrickStorage, error) {
+	if fields <= 0 {
+		panic("core: at least one field required")
+	}
+	elems := n * fields * shape.Vol()
+	arena, err := shmem.NewUnmappedArena(8 * elems)
+	if err != nil {
+		return nil, err
+	}
+	return storageOnArena(arena, shape, elems, fields), nil
+}
+
+func storageOnArena(arena *shmem.Arena, shape Shape, elems, fields int) *BrickStorage {
 	return &BrickStorage{
 		Data:   arena.Float64s()[:elems],
 		Fields: fields,
 		vol:    shape.Vol(),
 		arena:  arena,
-	}, nil
+	}
 }
 
 // Chunk returns the elements per brick chunk (Fields × brick volume).

@@ -529,3 +529,10 @@ func (d *BrickDecomp) Allocate() *BrickStorage {
 func (d *BrickDecomp) MmapAllocate() (*BrickStorage, error) {
 	return NewMappedBrickStorage(d.shape, d.nb, d.fields)
 }
+
+// MmapAllocateUnmapped returns arena storage with mapping forced off, so
+// every view over it is copy-based: the deterministic stand-in for a
+// runtime shm failure, used by fault injection.
+func (d *BrickDecomp) MmapAllocateUnmapped() (*BrickStorage, error) {
+	return NewUnmappedBrickStorage(d.shape, d.nb, d.fields)
+}

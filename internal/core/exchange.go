@@ -118,12 +118,31 @@ type ExchangeView struct {
 
 var _ Exchanger = (*ExchangeView)(nil)
 
+// Degradation reasons recorded in ExchangePlan.Degraded and used as the
+// reason label of the exchange_degraded_total metric.
+const (
+	// DegradeHeapStorage: storage was never arena-backed, so views were
+	// copy windows from the start.
+	DegradeHeapStorage = "heap-storage"
+	// DegradeUnmappedArena: the arena exists but could not map (shm setup
+	// failed at allocation, or mapping was forced off by injection).
+	DegradeUnmappedArena = "unmapped-arena"
+	// DegradeMapFailed: the arena is mapped but building an aliasing view
+	// over the surface runs failed; that neighbor fell back to a copy
+	// window.
+	DegradeMapFailed = "map-failed"
+	// DegradeForced: a mid-run Degrade call (fault injection, or an
+	// operator tearing down mappings) rebuilt the mapped views as copies.
+	DegradeForced = "forced"
+)
+
 type sendView struct {
 	dir  layout.Set
 	tag  int
-	view *shmem.View // nil when the run collapses to one span or storage is heap-backed
-	runs []MsgSpec   // for heap-backed copy fallback
-	flat []float64   // the contiguous window to send
+	view *shmem.View  // nil when the run collapses to one span or the window is a copy
+	runs []MsgSpec    // the surface runs behind the window (len > 1 windows)
+	flat []float64    // the contiguous window to send
+	req  *mpi.Request // persistent send endpoint, nil in one-shot mode
 }
 
 // NewExchangeView precomputes per-neighbor send views and compiles the
@@ -142,6 +161,13 @@ func NewExchangeView(e *BrickExchanger, bs *BrickStorage, opts ...PlanOption) (*
 	for _, m := range e.d.sendMsgs {
 		byDst[m.Dir] = append(byDst[m.Dir], m)
 	}
+	degradeReason := ""
+	degrade := func(reason string) {
+		ev.degraded = true
+		if degradeReason == "" {
+			degradeReason = reason
+		}
+	}
 	for _, dir := range e.d.order {
 		runs := byDst[dir]
 		if len(runs) == 0 {
@@ -155,22 +181,27 @@ func NewExchangeView(e *BrickExchanger, bs *BrickStorage, opts ...PlanOption) (*
 			sv.flat = bs.Data[sp.Start*chunk : sp.PaddedEnd()*chunk]
 		case bs.arena == nil:
 			// Heap storage: copy-based fallback window.
-			total := 0
-			for _, r := range runs {
-				total += r.Span.Padded * chunk
-			}
 			sv.runs = runs
-			sv.flat = make([]float64, total)
-			ev.degraded = true
+			sv.flat = make([]float64, runsLen(runs, chunk))
+			degrade(DegradeHeapStorage)
 		default:
+			sv.runs = runs
 			view, err := mapRuns(bs, runs)
-			if err != nil {
-				return nil, err
-			}
-			sv.view = view
-			sv.flat = view.Float64s()
-			if !view.Mapped() {
-				ev.degraded = true
+			switch {
+			case err != nil:
+				// Mapping the surface runs failed (injected or real):
+				// degrade this neighbor to a copy window instead of
+				// failing the run — identical bytes move, with extra
+				// on-node copies.
+				sv.flat = make([]float64, runsLen(runs, chunk))
+				degrade(DegradeMapFailed)
+			case !view.Mapped():
+				sv.view = view
+				sv.flat = view.Float64s()
+				degrade(DegradeUnmappedArena)
+			default:
+				sv.view = view
+				sv.flat = view.Float64s()
 			}
 		}
 		ev.sends = append(ev.sends, sv)
@@ -195,20 +226,34 @@ func NewExchangeView(e *BrickExchanger, bs *BrickStorage, opts ...PlanOption) (*
 			ev.precvs = append(ev.precvs, e.comm.RecvInit(src, tag, buf))
 		}
 	}
-	for _, sv := range ev.sends {
+	for i := range ev.sends {
+		sv := &ev.sends[i]
 		dst := e.rank[sv.dir]
 		if dst < 0 {
 			continue
 		}
 		plan.Sends = append(plan.Sends, PlanMsg{Peer: dst, Tag: sv.tag, Bytes: int64(8 * len(sv.flat))})
 		if o.persistent {
-			ev.psends = append(ev.psends, e.comm.SendInit(dst, sv.tag, sv.flat))
+			sv.req = e.comm.SendInit(dst, sv.tag, sv.flat)
+			ev.psends = append(ev.psends, sv.req)
 		}
 	}
 	ev.pall = make([]*mpi.Request, 0, len(ev.precvs)+len(ev.psends))
 	ev.pall = append(append(ev.pall, ev.precvs...), ev.psends...)
 	ev.SetPlan(plan)
+	if ev.degraded {
+		ev.MarkDegraded(degradeReason)
+	}
 	return ev, nil
+}
+
+// runsLen totals the window elements of a run list.
+func runsLen(runs []MsgSpec, chunk int) int {
+	total := 0
+	for _, r := range runs {
+		total += r.Span.Padded * chunk
+	}
+	return total
 }
 
 // mapRuns builds a view over the byte ranges of the given brick spans.
@@ -223,8 +268,46 @@ func mapRuns(bs *BrickStorage, runs []MsgSpec) (*shmem.View, error) {
 }
 
 // Degraded reports whether any send view is copy-based rather than aliasing
-// (platform without mmap support, or unaligned chunks).
+// (platform without mmap support, unaligned chunks, a map failure, or a
+// mid-run Degrade).
 func (ev *ExchangeView) Degraded() bool { return ev.degraded }
+
+// DegradedReason returns why the exchanger degraded (one of the Degrade*
+// constants), or empty at full service.
+func (ev *ExchangeView) DegradedReason() string { return ev.Plan().Degraded }
+
+// Degrade rebuilds every mapped send view as a copy-based window, mid-run:
+// the aliasing views are unmapped, fresh heap windows take their place,
+// and persistent send endpoints are rebound to the new windows — the peer
+// is untouched, because the wire format (one flat payload per neighbor
+// with the same tag and length) is identical either way. Subsequent Starts
+// gather surface runs into the windows before posting, so results are
+// bit-identical to the mapped exchange at the cost of packing copies.
+//
+// Call it between Complete and the next Start — never with an exchange in
+// flight (Rebind on an active request panics). It is idempotent; reason is
+// recorded on the plan summary on first use.
+func (ev *ExchangeView) Degrade(reason string) error {
+	var first error
+	for i := range ev.sends {
+		sv := &ev.sends[i]
+		if sv.view == nil || !sv.view.Mapped() {
+			continue // single-run storage alias or already copy-based
+		}
+		flat := make([]float64, len(sv.flat))
+		if err := sv.view.Close(); err != nil && first == nil {
+			first = err
+		}
+		sv.view = nil
+		sv.flat = flat
+		if sv.req != nil {
+			sv.req.Rebind(flat)
+		}
+	}
+	ev.degraded = true
+	ev.MarkDegraded(reason)
+	return first
+}
 
 // NumMessages returns the messages per exchange this rank sends: at most one
 // per neighbor (26 in 3D), the paper's MemMap minimum.
@@ -247,7 +330,9 @@ func (ev *ExchangeView) gatherSends() {
 			continue
 		}
 		switch {
-		case sv.view != nil && !sv.view.Mapped():
+		case sv.view != nil && sv.view.Mapped():
+			// Aliasing view: it IS storage, nothing to refresh.
+		case sv.view != nil:
 			sv.view.Gather() // degraded mode: packing copy
 		case sv.runs != nil:
 			off := 0

@@ -22,6 +22,7 @@ const (
 	kindLayout exchangeKind = iota
 	kindMemMap
 	kindMemMapHeap
+	kindMemMapUnmapped // arena storage with mapping forced off (degraded)
 )
 
 // verifyExchange runs a full periodic exchange on a procs[0]×procs[1]×procs[2]
@@ -39,7 +40,7 @@ func verifyExchange(t *testing.T, procs [3]int, dom [3]int, ghost, fields int,
 		origin := [3]int{co[2] * dom[0], co[1] * dom[1], co[0] * dom[2]}
 
 		var opts []Option
-		if kind == kindMemMap {
+		if kind == kindMemMap || kind == kindMemMapUnmapped {
 			opts = append(opts, WithPageAlignment(os.Getpagesize()))
 		}
 		d, err := NewBrickDecomp(Shape{4, 4, 4}, dom, ghost, fields, order, opts...)
@@ -48,15 +49,20 @@ func verifyExchange(t *testing.T, procs [3]int, dom [3]int, ghost, fields int,
 			return
 		}
 		var bs *BrickStorage
-		if kind == kindMemMap {
+		switch kind {
+		case kindMemMap:
 			bs, err = d.MmapAllocate()
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			defer bs.Close()
-		} else {
+		case kindMemMapUnmapped:
+			bs, err = d.MmapAllocateUnmapped()
+		default:
 			bs = d.Allocate()
+		}
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if bs.arena != nil {
+			defer bs.Close()
 		}
 
 		// Fill the domain proper (not ghosts) with global values.
@@ -75,7 +81,7 @@ func verifyExchange(t *testing.T, procs [3]int, dom [3]int, ghost, fields int,
 		switch kind {
 		case kindLayout:
 			ex.Exchange(bs)
-		case kindMemMap, kindMemMapHeap:
+		case kindMemMap, kindMemMapHeap, kindMemMapUnmapped:
 			ev, err := NewExchangeView(ex, bs)
 			if err != nil {
 				t.Error(err)

@@ -58,6 +58,12 @@ type ExchangePlan struct {
 	Persistent bool      `json:"persistent"`
 	Sends      []PlanMsg `json:"sends"`
 	Recvs      []PlanMsg `json:"recvs"`
+	// Degraded is the reason the exchanger runs copy-based windows instead
+	// of zero-copy mapped views (heap-storage, unmapped-arena, map-failed,
+	// forced), or empty at full service. Like Persistent it is excluded
+	// from the Digest: a degraded plan moves the same bytes between the
+	// same peers, it just pays extra on-node copies.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // SendBytes totals the payload of one round of sends.
@@ -99,6 +105,7 @@ func (p *ExchangePlan) Digest() string {
 type PlanSummary struct {
 	Variant    string `json:"variant"`
 	Persistent bool   `json:"persistent"`
+	Degraded   string `json:"degraded,omitempty"`
 	Sends      int    `json:"sends"`
 	Recvs      int    `json:"recvs"`
 	SendBytes  int64  `json:"send_bytes"`
@@ -111,6 +118,7 @@ func (p *ExchangePlan) Summary() PlanSummary {
 	return PlanSummary{
 		Variant:    p.Variant,
 		Persistent: p.Persistent,
+		Degraded:   p.Degraded,
 		Sends:      len(p.Sends),
 		Recvs:      len(p.Recvs),
 		SendBytes:  p.SendBytes(),
@@ -178,6 +186,15 @@ type PlanBase struct {
 func (b *PlanBase) SetPlan(p ExchangePlan) {
 	b.plan = p
 	b.sendBytes = p.SendBytes()
+}
+
+// MarkDegraded records why the exchanger fell back to copy-based windows.
+// The first reason wins — later degradations of an already-degraded plan
+// do not overwrite the original cause.
+func (b *PlanBase) MarkDegraded(reason string) {
+	if b.plan.Degraded == "" {
+		b.plan.Degraded = reason
+	}
 }
 
 // Plan returns the compiled plan.

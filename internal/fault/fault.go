@@ -1,0 +1,315 @@
+// Package fault is a deterministic, seedable fault injector for the
+// in-process exchange runtime. It exists so the fault-tolerance machinery —
+// watchdog stall detection, abort propagation, MemMap degradation — can be
+// exercised on demand instead of waiting for a real plan bug: a run is given
+// an Injector compiled from a compact spec string, and the instrumented
+// layers (mpi sends, the harness step loop, storage allocation, plan
+// compilation) consult it at fixed hook points.
+//
+// Determinism: every random choice (delay jitter) comes from a per-rank
+// PRNG seeded from (seed, rank), and every one-shot trigger (send stall,
+// step panic, map failure) is keyed to deterministic program points (the
+// rank's Nth send, the rank's Sth step). Two runs of the same program with
+// the same spec and seed inject exactly the same faults, which is what lets
+// the soak harness assert bit-identical checksums under injection.
+//
+// A nil *Injector is valid and injects nothing; every hook is nil-safe, so
+// instrumented call sites pay only a nil pointer check when injection is
+// disabled.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/bricklab/brick/internal/metrics"
+)
+
+// Kind names one fault family, used both in spec clauses and as the kind
+// label of the fault_injected_total metric.
+type Kind string
+
+// The injectable fault kinds.
+const (
+	// KindDelay sleeps before posting each send: mean duration ± jitter.
+	KindDelay Kind = "delay"
+	// KindStall sleeps once, for a long time, before the rank's Nth send —
+	// the one-shot send stall that a watchdog must distinguish from a
+	// deadlock (or, with a stall longer than the deadline, must report).
+	KindStall Kind = "stall"
+	// KindPanic panics the rank at the start of step S of the harness loop
+	// (steps count from 0 and include warmup).
+	KindPanic Kind = "panic"
+	// KindMapFail forces MemMap storage/view mapping to fail: without a
+	// step, the rank's arena allocation degrades to an unmapped (heap)
+	// arena; with step=S, the rank's ExchangeView rebuilds its mapped send
+	// views as copy windows at step S (mid-run degradation).
+	KindMapFail Kind = "mapfail"
+	// KindAllocFail forces plan compilation to fail with an error on the
+	// rank, exercising the error-abort path during exchanger setup.
+	KindAllocFail Kind = "allocfail"
+)
+
+// AnyRank is the rank filter meaning "every rank" (spec: rank=*).
+const AnyRank = -1
+
+// delayClause: per-send delay with jitter.
+type delayClause struct {
+	rank   int // AnyRank or a concrete rank
+	mean   time.Duration
+	jitter float64 // fraction of mean, uniform in [-jitter, +jitter]
+}
+
+// stallClause: one-shot sleep before the rank's nth send (1-based).
+type stallClause struct {
+	rank int
+	nth  int64
+	dur  time.Duration
+}
+
+// stepClause: fires at one (rank, step) point. step < 0 means
+// "at allocation" for mapfail clauses.
+type stepClause struct {
+	rank int
+	step int
+}
+
+// Injector holds a parsed fault plan plus the per-run mutable state (send
+// counters, PRNGs, metric caches). An Injector is single-run: build a fresh
+// one per world so one-shot faults and counters start clean.
+type Injector struct {
+	spec string
+	seed int64
+
+	delays     []delayClause
+	stalls     []stallClause
+	panics     []stepClause
+	mapFails   []stepClause // step < 0: at allocation
+	allocFails []stepClause // step unused
+
+	mu       sync.Mutex
+	rngs     map[int]*rand.Rand
+	sends    map[int]int64
+	reg      *metrics.Registry
+	counters map[counterKey]*metrics.Counter
+}
+
+type counterKey struct {
+	kind Kind
+	rank int
+}
+
+// New builds an empty injector (no faults); useful as a base for the With*
+// builders in tests. Parse is the production constructor.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, rngs: map[int]*rand.Rand{}, sends: map[int]int64{}}
+}
+
+// Enabled reports whether the injector holds any fault clause.
+func (in *Injector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	return len(in.delays)+len(in.stalls)+len(in.panics)+len(in.mapFails)+len(in.allocFails) > 0
+}
+
+// Seed returns the PRNG seed.
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// String returns the spec the injector was parsed from (empty for a nil or
+// hand-built injector).
+func (in *Injector) String() string {
+	if in == nil {
+		return ""
+	}
+	return in.spec
+}
+
+// SetMetrics attaches a registry; every injected fault is counted as
+// fault_injected_total{kind,rank}. Nil disables counting (the default).
+func (in *Injector) SetMetrics(reg *metrics.Registry) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.reg = reg
+	in.counters = map[counterKey]*metrics.Counter{}
+	in.mu.Unlock()
+	if reg != nil {
+		reg.Describe(metrics.FaultInjectedTotal, "Faults injected by the internal/fault injector (labels: kind, rank).")
+	}
+}
+
+// countLocked increments fault_injected_total{kind,rank}; in.mu held.
+func (in *Injector) countLocked(kind Kind, rank int) {
+	if in.reg == nil {
+		return
+	}
+	key := counterKey{kind, rank}
+	c := in.counters[key]
+	if c == nil {
+		c = in.reg.Counter(metrics.FaultInjectedTotal, metrics.Labels{
+			"kind": string(kind), "rank": strconv.Itoa(rank)})
+		in.counters[key] = c
+	}
+	c.Add(1)
+}
+
+func matchRank(filter, rank int) bool { return filter == AnyRank || filter == rank }
+
+// rngLocked returns the rank's deterministic PRNG; in.mu held.
+func (in *Injector) rngLocked(rank int) *rand.Rand {
+	r := in.rngs[rank]
+	if r == nil {
+		// Mix the rank into the seed with an odd constant so adjacent ranks
+		// do not produce correlated streams.
+		r = rand.New(rand.NewSource(in.seed ^ (int64(rank)+1)*0x5851F42D4C957F2D))
+		in.rngs[rank] = r
+	}
+	return r
+}
+
+// SendDelay returns how long the rank's next send must sleep before being
+// posted: the sum of matching delay clauses (with deterministic jitter)
+// plus, exactly once, a matching one-shot stall. The caller sleeps; the
+// injector only decides. Returns 0 when nothing is configured for the rank.
+func (in *Injector) SendDelay(rank int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sends[rank]++
+	nth := in.sends[rank]
+	var total time.Duration
+	for _, c := range in.delays {
+		if !matchRank(c.rank, rank) {
+			continue
+		}
+		d := c.mean
+		if c.jitter > 0 {
+			f := 1 + c.jitter*(2*in.rngLocked(rank).Float64()-1)
+			d = time.Duration(float64(d) * f)
+		}
+		if d > 0 {
+			total += d
+			in.countLocked(KindDelay, rank)
+		}
+	}
+	for _, c := range in.stalls {
+		if matchRank(c.rank, rank) && c.nth == nth {
+			total += c.dur
+			in.countLocked(KindStall, rank)
+		}
+	}
+	return total
+}
+
+// StepPanic panics (with a diagnostic naming the rank and step) when a
+// panic clause matches; the harness calls it at the top of every step.
+func (in *Injector) StepPanic(rank, step int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	for _, c := range in.panics {
+		if matchRank(c.rank, rank) && c.step == step {
+			in.countLocked(KindPanic, rank)
+			in.mu.Unlock()
+			panic(fmt.Sprintf("fault: injected panic on rank %d at step %d", rank, step))
+		}
+	}
+	in.mu.Unlock()
+}
+
+// MapFailAtAlloc reports whether the rank's MemMap arena allocation must
+// degrade to an unmapped (heap) arena — a mapfail clause without a step.
+func (in *Injector) MapFailAtAlloc(rank int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, c := range in.mapFails {
+		if matchRank(c.rank, rank) && c.step < 0 {
+			in.countLocked(KindMapFail, rank)
+			return true
+		}
+	}
+	return false
+}
+
+// DegradeAtStep reports whether the rank's mapped exchange views must be
+// rebuilt as copy windows at this step — a mapfail clause with step=S.
+func (in *Injector) DegradeAtStep(rank, step int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, c := range in.mapFails {
+		if matchRank(c.rank, rank) && c.step == step {
+			in.countLocked(KindMapFail, rank)
+			return true
+		}
+	}
+	return false
+}
+
+// AllocFail reports whether plan compilation on the rank must fail with an
+// injected error.
+func (in *Injector) AllocFail(rank int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, c := range in.allocFails {
+		if matchRank(c.rank, rank) {
+			in.countLocked(KindAllocFail, rank)
+			return true
+		}
+	}
+	return false
+}
+
+// Builders for tests and the soak harness (programmatic alternatives to
+// Parse; each returns the receiver for chaining).
+
+// WithDelay adds a per-send delay clause.
+func (in *Injector) WithDelay(rank int, mean time.Duration, jitter float64) *Injector {
+	in.delays = append(in.delays, delayClause{rank: rank, mean: mean, jitter: jitter})
+	return in
+}
+
+// WithStall adds a one-shot stall before the rank's nth send (1-based).
+func (in *Injector) WithStall(rank int, nth int64, dur time.Duration) *Injector {
+	in.stalls = append(in.stalls, stallClause{rank: rank, nth: nth, dur: dur})
+	return in
+}
+
+// WithPanic adds a rank-panic clause at the given step.
+func (in *Injector) WithPanic(rank, step int) *Injector {
+	in.panics = append(in.panics, stepClause{rank: rank, step: step})
+	return in
+}
+
+// WithMapFail adds a map-failure clause; step < 0 means at allocation.
+func (in *Injector) WithMapFail(rank, step int) *Injector {
+	in.mapFails = append(in.mapFails, stepClause{rank: rank, step: step})
+	return in
+}
+
+// WithAllocFail adds a plan-compile allocation-failure clause.
+func (in *Injector) WithAllocFail(rank int) *Injector {
+	in.allocFails = append(in.allocFails, stepClause{rank: rank, step: -1})
+	return in
+}

@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bricklab/brick/internal/metrics"
+)
+
+func TestParseEmptyDisablesInjection(t *testing.T) {
+	in, err := Parse("", 1)
+	if err != nil || in != nil {
+		t.Fatalf("Parse(\"\") = %v, %v; want nil, nil", in, err)
+	}
+	// Every hook must be nil-safe.
+	if in.Enabled() || in.SendDelay(0) != 0 || in.MapFailAtAlloc(0) ||
+		in.DegradeAtStep(0, 0) || in.AllocFail(0) || in.Seed() != 0 || in.String() != "" {
+		t.Error("nil injector must inject nothing")
+	}
+	in.StepPanic(0, 0) // must not panic
+	in.SetMetrics(nil) // must not crash
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"nonsense:rank=0",
+		"delay:rank=0",                  // missing mean
+		"delay:rank=0:mean=banana",      // bad duration
+		"delay:rank=0:mean=1ms:nth=2",   // unknown field for kind
+		"delay:rank=-2:mean=1ms",        // bad rank
+		"delay:rank=0:mean=1ms:mean=2s", // duplicate field
+		"stall:rank=0",                  // missing dur
+		"stall:rank=0:nth=0:dur=1s",     // nth is 1-based
+		"panic:rank=0:step=-1",
+		"mapfail:rank=0:step=x",
+		"delay:rank=0:mean=1ms:jitter=2", // jitter out of range
+		"  ,  ,  ",                       // clauses but all empty
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "delay:rank=*:mean=200us:jitter=0.5,stall:rank=0:nth=5:dur=2s,panic:rank=1:step=3,mapfail:rank=2,mapfail:rank=3:step=4,allocfail:rank=2"
+	in := MustParse(spec, 42)
+	if !in.Enabled() || in.Seed() != 42 || in.String() != spec {
+		t.Fatalf("round trip lost state: %v", in)
+	}
+	if len(in.delays) != 1 || len(in.stalls) != 1 || len(in.panics) != 1 ||
+		len(in.mapFails) != 2 || len(in.allocFails) != 1 {
+		t.Fatalf("clause counts wrong: %+v", in)
+	}
+}
+
+func TestDelayDeterminism(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		in := MustParse("delay:rank=*:mean=1ms:jitter=0.5", seed)
+		var out []time.Duration
+		for i := 0; i < 16; i++ {
+			out = append(out, in.SendDelay(3))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("send %d: %v != %v with equal seeds", i, a[i], b[i])
+		}
+		if a[i] < 500*time.Microsecond || a[i] > 1500*time.Microsecond {
+			t.Errorf("send %d: delay %v outside mean±jitter", i, a[i])
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestDelayRankFilter(t *testing.T) {
+	in := MustParse("delay:rank=1:mean=1ms", 1)
+	if d := in.SendDelay(0); d != 0 {
+		t.Errorf("rank 0 delayed %v despite rank=1 filter", d)
+	}
+	if d := in.SendDelay(1); d != time.Millisecond {
+		t.Errorf("rank 1 delay = %v, want 1ms", d)
+	}
+}
+
+func TestStallFiresOnceAtNthSend(t *testing.T) {
+	in := MustParse("stall:rank=0:nth=3:dur=1s", 1)
+	for i := 1; i <= 5; i++ {
+		d := in.SendDelay(0)
+		if i == 3 && d != time.Second {
+			t.Errorf("send %d: delay %v, want 1s stall", i, d)
+		}
+		if i != 3 && d != 0 {
+			t.Errorf("send %d: unexpected delay %v", i, d)
+		}
+	}
+	if d := in.SendDelay(1); d != 0 {
+		t.Errorf("other rank stalled %v", d)
+	}
+}
+
+func TestStepPanic(t *testing.T) {
+	in := MustParse("panic:rank=1:step=3", 1)
+	in.StepPanic(1, 2) // wrong step: no panic
+	in.StepPanic(0, 3) // wrong rank: no panic
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no injected panic")
+		}
+		msg, _ := p.(string)
+		if !strings.Contains(msg, "rank 1") || !strings.Contains(msg, "step 3") {
+			t.Errorf("panic message %q lacks rank/step", msg)
+		}
+	}()
+	in.StepPanic(1, 3)
+}
+
+func TestMapFailAllocVsStep(t *testing.T) {
+	in := MustParse("mapfail:rank=1,mapfail:rank=2:step=4", 1)
+	if !in.MapFailAtAlloc(1) || in.MapFailAtAlloc(2) || in.MapFailAtAlloc(0) {
+		t.Error("alloc-time mapfail filter wrong")
+	}
+	if !in.DegradeAtStep(2, 4) || in.DegradeAtStep(2, 3) || in.DegradeAtStep(1, 4) {
+		t.Error("step mapfail filter wrong")
+	}
+}
+
+func TestAllocFail(t *testing.T) {
+	in := MustParse("allocfail:rank=2", 1)
+	if in.AllocFail(0) || !in.AllocFail(2) {
+		t.Error("allocfail filter wrong")
+	}
+}
+
+func TestMetricsCounting(t *testing.T) {
+	reg := metrics.NewRegistry()
+	in := MustParse("delay:rank=*:mean=1ms,stall:rank=0:nth=2:dur=1s", 1)
+	in.SetMetrics(reg)
+	in.SendDelay(0)
+	in.SendDelay(0) // delay + stall
+	in.SendDelay(1)
+	if got := reg.Counter(metrics.FaultInjectedTotal, metrics.Labels{"kind": "delay", "rank": "0"}).Value(); got != 2 {
+		t.Errorf("delay rank 0 count = %d, want 2", got)
+	}
+	if got := reg.Counter(metrics.FaultInjectedTotal, metrics.Labels{"kind": "stall", "rank": "0"}).Value(); got != 1 {
+		t.Errorf("stall rank 0 count = %d, want 1", got)
+	}
+	if got := reg.Counter(metrics.FaultInjectedTotal, metrics.Labels{"kind": "delay", "rank": "1"}).Value(); got != 1 {
+		t.Errorf("delay rank 1 count = %d, want 1", got)
+	}
+}

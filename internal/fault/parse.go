@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse compiles a fault spec into an Injector. The grammar is a
+// comma-separated list of clauses; each clause is a kind followed by
+// colon-separated key=value fields:
+//
+//	delay:rank=*:mean=200us[:jitter=0.5]   per-send delay, ±jitter fraction
+//	stall:rank=0:nth=5:dur=2s              one-shot stall before send #5
+//	panic:rank=1:step=3                    panic rank 1 at step 3
+//	mapfail:rank=2[:step=4]                degrade MemMap (alloc time, or step 4)
+//	allocfail:rank=2                       fail plan compile on rank 2
+//
+// rank accepts a non-negative integer or * (every rank). Durations use Go
+// syntax (200us, 1ms, 2s). An empty spec yields a nil injector: injection
+// fully disabled, hooks cost one nil check.
+func Parse(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := New(seed)
+	in.spec = spec
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := in.parseClause(clause); err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+	}
+	if !in.Enabled() {
+		return nil, fmt.Errorf("fault: spec %q holds no clauses", spec)
+	}
+	return in, nil
+}
+
+// MustParse is Parse for tests and tables of known-good specs.
+func MustParse(spec string, seed int64) *Injector {
+	in, err := Parse(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// fields parses the key=value fields after the kind, rejecting duplicates
+// and unknown keys (allowed lists what the kind accepts).
+func fields(parts []string, allowed ...string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, p := range parts {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("field %q is not key=value", p)
+		}
+		ok = false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown field %q (accepts %s)", k, strings.Join(allowed, ", "))
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("duplicate field %q", k)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func parseRank(v string) (int, error) {
+	if v == "" || v == "*" {
+		return AnyRank, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad rank %q (non-negative integer or *)", v)
+	}
+	return n, nil
+}
+
+func parseDur(v, field string) (time.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad %s %q (positive Go duration)", field, v)
+	}
+	return d, nil
+}
+
+func (in *Injector) parseClause(clause string) error {
+	parts := strings.Split(clause, ":")
+	kind, rest := Kind(parts[0]), parts[1:]
+	switch kind {
+	case KindDelay:
+		f, err := fields(rest, "rank", "mean", "jitter")
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		if f["mean"] == "" {
+			return fmt.Errorf("delay needs mean=<duration>")
+		}
+		mean, err := parseDur(f["mean"], "mean")
+		if err != nil {
+			return err
+		}
+		jitter := 0.0
+		if v := f["jitter"]; v != "" {
+			jitter, err = strconv.ParseFloat(v, 64)
+			if err != nil || jitter < 0 || jitter > 1 {
+				return fmt.Errorf("bad jitter %q (fraction in [0,1])", v)
+			}
+		}
+		in.WithDelay(rank, mean, jitter)
+	case KindStall:
+		f, err := fields(rest, "rank", "nth", "dur")
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		nth := int64(1)
+		if v := f["nth"]; v != "" {
+			nth, err = strconv.ParseInt(v, 10, 64)
+			if err != nil || nth < 1 {
+				return fmt.Errorf("bad nth %q (1-based send index)", v)
+			}
+		}
+		if f["dur"] == "" {
+			return fmt.Errorf("stall needs dur=<duration>")
+		}
+		dur, err := parseDur(f["dur"], "dur")
+		if err != nil {
+			return err
+		}
+		in.WithStall(rank, nth, dur)
+	case KindPanic:
+		f, err := fields(rest, "rank", "step")
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		step := 0
+		if v := f["step"]; v != "" {
+			step, err = strconv.Atoi(v)
+			if err != nil || step < 0 {
+				return fmt.Errorf("bad step %q (non-negative integer)", v)
+			}
+		}
+		in.WithPanic(rank, step)
+	case KindMapFail:
+		f, err := fields(rest, "rank", "step")
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		step := -1 // at allocation
+		if v := f["step"]; v != "" {
+			step, err = strconv.Atoi(v)
+			if err != nil || step < 0 {
+				return fmt.Errorf("bad step %q (non-negative integer)", v)
+			}
+		}
+		in.WithMapFail(rank, step)
+	case KindAllocFail:
+		f, err := fields(rest, "rank")
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		in.WithAllocFail(rank)
+	default:
+		return fmt.Errorf("unknown kind %q (delay, stall, panic, mapfail, allocfail)", parts[0])
+	}
+	return nil
+}

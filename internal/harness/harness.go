@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/fault"
 	"github.com/bricklab/brick/internal/gpu"
 	"github.com/bricklab/brick/internal/layout"
 	"github.com/bricklab/brick/internal/metrics"
@@ -133,6 +134,16 @@ type Config struct {
 	// (the -persistent=false escape hatch). The zero value — persistent
 	// plans on — is the default for every CPU implementation.
 	DisablePersistent bool
+	// Fault is a fault-injection spec (see fault.Parse: delay, stall, panic,
+	// mapfail, allocfail clauses), seeded by FaultSeed. Empty (the default)
+	// disables injection entirely; the hooks then cost one nil check.
+	Fault     string
+	FaultSeed int64
+	// Watchdog arms the world's deadlock watchdog: a run making no exchange
+	// progress for this long while operations are pending is aborted with a
+	// StallReport naming every pending endpoint. Zero (the default) disables
+	// the watchdog.
+	Watchdog time.Duration
 	// Metrics, when non-nil, receives the run's full observability stream:
 	// per-step phase histograms (impl/rank/phase labels plus a rank="all"
 	// aggregate), per-message mpi latency/size/match-wait histograms,
@@ -140,6 +151,11 @@ type Config struct {
 	// throughput gauges. Nil (the default) disables all recording; the
 	// instrumented paths then cost only pointer checks.
 	Metrics *metrics.Registry
+
+	// inj is the compiled Fault spec, set by Run before the rank bodies
+	// start; the runners consult it at their hook points. Nil injects
+	// nothing.
+	inj *fault.Injector
 }
 
 func (c Config) ranks() int { return c.Procs[0] * c.Procs[1] * c.Procs[2] }
@@ -299,6 +315,7 @@ func describeMetrics(reg *metrics.Registry) {
 	reg.Describe(metrics.PlansBuiltTotal, "Compiled exchange plans built; starts_total/plans_built_total is the reuse factor.")
 	reg.Describe(metrics.PlanStartsTotal, "Times a compiled exchange plan was started.")
 	reg.Describe(metrics.PlanStartBytesTotal, "Payload bytes posted by plan starts.")
+	reg.Describe(metrics.ExchangeDegradedTotal, "Exchangers that fell back to copy-based windows (labels: impl, rank, reason).")
 }
 
 // recordPlan captures an exchanger's compiled plan into the result and
@@ -315,26 +332,55 @@ func recordPlan(res *Result, reg *metrics.Registry, im Impl, rank int, ex core.E
 	reg.Counter(metrics.PlansBuiltTotal, lb).Add(1)
 	reg.Counter(metrics.PlanStartsTotal, lb).Add(st.Starts)
 	reg.Counter(metrics.PlanStartBytesTotal, lb).Add(st.StartBytes)
+	if sum.Degraded != "" {
+		reg.Counter(metrics.ExchangeDegradedTotal, metrics.Labels{
+			"impl": im.String(), "rank": strconv.Itoa(rank), "reason": sum.Degraded}).Add(1)
+	}
 }
 
 // Run executes the experiment and returns aggregated metrics.
-func Run(cfg Config) (Result, error) {
+//
+// A rank that fails — a setup error, an injected fault, a panic — aborts
+// the whole world: every rank blocked in an exchange or collective is
+// released, and Run returns the failure as an *mpi.AbortError (which wraps
+// mpi.ErrAborted and, for rank errors, the rank's own error) instead of
+// deadlocking on the survivors. A stall under Config.Watchdog surfaces the
+// same way, with the AbortError carrying the StallReport.
+func Run(cfg Config) (res Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	inj, err := fault.Parse(cfg.Fault, cfg.FaultSeed)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.inj = inj
 	n := cfg.ranks()
 	perRank := make([]Result, n)
-	errs := make([]error, n)
 	w := mpi.NewWorld(n)
+	w.SetFault(inj)
+	w.SetWatchdog(cfg.Watchdog, nil)
 	if cfg.Metrics != nil {
 		describeMetrics(cfg.Metrics)
 		w.SetMetrics(cfg.Metrics)
+		inj.SetMetrics(cfg.Metrics)
 		// The process-wide pool serves every rank's kernels; attach for the
 		// duration of this run so tile time and queue depth are visible,
 		// then detach so later uninstrumented runs pay nothing.
 		stencil.DefaultPool().SetMetrics(cfg.Metrics)
 		defer stencil.DefaultPool().SetMetrics(nil)
 	}
+	// World.Run re-raises the first failure as an *mpi.AbortError panic once
+	// every rank has unwound; surface it as the run's error.
+	defer func() {
+		if p := recover(); p != nil {
+			ae, ok := p.(*mpi.AbortError)
+			if !ok {
+				panic(p)
+			}
+			res, err = Result{}, ae
+		}
+	}()
 	w.Run(func(c *mpi.Comm) {
 		cart := mpi.NewCart(c, []int{cfg.Procs[2], cfg.Procs[1], cfg.Procs[0]}, []bool{true, true, true})
 		var r Result
@@ -345,6 +391,11 @@ func Run(cfg Config) (Result, error) {
 			r, err = runBrickRank(cfg, cart)
 		} else {
 			r, err = runGridRank(cfg, cart)
+		}
+		if err != nil {
+			// A rank that kept its error to itself used to deadlock the
+			// others in their next exchange; abort the world instead.
+			c.Abort(err)
 		}
 		// Global checksum over ranks.
 		r.Checksum = c.Allreduce1(mpi.OpSum, r.Checksum)
@@ -359,13 +410,7 @@ func Run(cfg Config) (Result, error) {
 			reg.Counter(metrics.MPIRecvBytesTotal, lb).Add(tr.RecvBytes)
 		}
 		perRank[c.Rank()] = r
-		errs[c.Rank()] = err
 	})
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
-	}
 	out := perRank[0]
 	for _, r := range perRank[1:] {
 		out.Calc.Merge(r.Calc)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/bricklab/brick/internal/core"
@@ -38,9 +39,19 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	rank := cart.Comm().Rank()
+	if cfg.inj.AllocFail(rank) {
+		return res, fmt.Errorf("fault: injected allocation failure on rank %d", rank)
+	}
 	var bs *core.BrickStorage
 	if cfg.Impl == MemMap || cfg.Impl == Shift {
-		if bs, err = dec.MmapAllocate(); err != nil {
+		alloc := dec.MmapAllocate
+		if cfg.inj.MapFailAtAlloc(rank) {
+			// Injected shm failure: allocate the deterministic unmapped
+			// arena, which the exchanger degrades to copy windows.
+			alloc = dec.MmapAllocateUnmapped
+		}
+		if bs, err = alloc(); err != nil {
 			return res, err
 		}
 		defer bs.Close()
@@ -51,6 +62,9 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	bx := core.NewExchanger(dec, cart)
 	popt := core.WithPersistentPlan(!cfg.DisablePersistent)
 	var ex core.Exchanger
+	// degradable is set for MemMap, the one implementation whose mapped
+	// views can be rebuilt as copy windows mid-run (mapfail:step=S faults).
+	var degradable *core.ExchangeView
 	switch cfg.Impl {
 	case MemMap:
 		ev, err := core.NewExchangeView(bx, bs, popt)
@@ -58,6 +72,7 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			return res, err
 		}
 		ex = ev
+		degradable = ev
 	case Shift:
 		sv, err := core.NewShiftView(bx, bs, popt)
 		if err != nil {
@@ -141,7 +156,17 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			surfSpans = append(surfSpans, [2]int{sp.Start, sp.End()})
 		}
 	}
+	abs := 0 // absolute step index (warmup included): the fault hook clock
 	step := func(s int, timed bool) {
+		cfg.inj.StepPanic(rank, abs)
+		if degradable != nil && cfg.inj.DegradeAtStep(rank, abs) {
+			// Between steps no exchange is in flight, so the mapped views
+			// can be swapped for copy windows here.
+			if derr := degradable.Degrade(core.DegradeForced); derr != nil {
+				comm.Abort(derr)
+			}
+		}
+		abs++
 		comm.Barrier()
 		var calc time.Duration
 		src := core.NewBrick(info, bs, cur)
@@ -228,6 +253,9 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	// order matters with persistent plans: every rank builds exs[0] fully
 	// before exs[1], so the duplicate-key endpoints pair exchanger-to-
 	// exchanger across ranks (FIFO in registration order).
+	if rank := cart.Comm().Rank(); cfg.inj.AllocFail(rank) {
+		return res, fmt.Errorf("fault: injected allocation failure on rank %d", rank)
+	}
 	popt := core.WithPersistentPlan(!cfg.DisablePersistent)
 	var exs [2]core.Exchanger
 	switch cfg.Impl {
@@ -262,7 +290,10 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	// sweep runs concurrently with the wire transfer. YASK stays serial as
 	// the paper's no-overlap baseline.
 	overlapTypes := cfg.Impl == MPITypes && period == 1
+	abs := 0 // absolute step index (warmup included): the fault hook clock
 	step := func(s int, timed bool) {
+		cfg.inj.StepPanic(comm.Rank(), abs)
+		abs++
 		comm.Barrier()
 		var calc time.Duration
 		exchange := s%period == 0
@@ -373,7 +404,10 @@ func runGPURank(cfg Config, cart *mpi.Cart) (Result, error) {
 	marg := margins(cfg)
 	comm := cart.Comm()
 	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
+	abs := 0 // absolute step index (warmup included): the fault hook clock
 	step := func(s int, timed bool) {
+		cfg.inj.StepPanic(comm.Rank(), abs)
+		abs++
 		comm.Barrier()
 		var cc gpu.CommCost
 		if s%period == 0 {

@@ -54,6 +54,17 @@ const (
 	MPIRecvMsgsTotal  = "mpi_received_messages_total"
 	MPIRecvBytesTotal = "mpi_received_bytes_total"
 
+	// FaultInjectedTotal: counter of faults injected by the internal/fault
+	// injector (labels: kind = delay|stall|panic|mapfail|allocfail, rank).
+	// Zero series exist when injection is disabled — the hooks cost only a
+	// nil check.
+	FaultInjectedTotal = "fault_injected_total"
+	// ExchangeDegradedTotal: counter of MemMap→copy degradations — times an
+	// exchange view fell back to copy-based windows instead of aliasing
+	// virtual-memory views (labels: impl, rank, reason =
+	// heap-storage|unmapped-arena|map-failed|forced).
+	ExchangeDegradedTotal = "exchange_degraded_total"
+
 	// StencilTileSeconds: histogram of per-tile kernel execution time in
 	// the worker pool (no labels; the pool is process-wide).
 	StencilTileSeconds = "stencil_tile_seconds"

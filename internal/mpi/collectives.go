@@ -6,13 +6,17 @@ import (
 	"sync"
 )
 
-// barrier is a reusable generation-counting barrier.
+// barrier is a reusable generation-counting barrier. Like the other
+// collectives it carries a down flag: an aborting world sets it and wakes
+// every waiter, and await reports aborted=true so the caller can unwind
+// with the world's *AbortError instead of hanging.
 type barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	size    int
 	waiting int
 	gen     uint64
+	down    bool
 }
 
 func (b *barrier) init(size int) {
@@ -20,8 +24,12 @@ func (b *barrier) init(size int) {
 	b.cond = sync.NewCond(&b.mu)
 }
 
-func (b *barrier) await() {
+func (b *barrier) await() (aborted bool) {
 	b.mu.Lock()
+	if b.down {
+		b.mu.Unlock()
+		return true
+	}
 	gen := b.gen
 	b.waiting++
 	if b.waiting == b.size {
@@ -29,15 +37,39 @@ func (b *barrier) await() {
 		b.gen++
 		b.cond.Broadcast()
 	} else {
-		for gen == b.gen {
+		for gen == b.gen && !b.down {
 			b.cond.Wait()
+		}
+		if b.down {
+			b.mu.Unlock()
+			return true
 		}
 	}
 	b.mu.Unlock()
+	return false
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.world.bar.await() }
+func (b *barrier) abortAll() {
+	b.mu.Lock()
+	b.down = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *barrier) pendingWaiters() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waiting
+}
+
+// Barrier blocks until every rank has entered it, or panics with the
+// world's *AbortError if the world aborts first.
+func (c *Comm) Barrier() {
+	if c.world.bar.await() {
+		panic(c.world.Aborted())
+	}
+	c.world.progressTick()
+}
 
 // Op is a reduction operator for Allreduce.
 type Op int
@@ -72,6 +104,7 @@ type reducer struct {
 	size    int
 	arrived int
 	left    int
+	down    bool
 	parts   [][]float64
 	out     []float64
 }
@@ -82,11 +115,15 @@ func (r *reducer) init(size int) {
 	r.parts = make([][]float64, size)
 }
 
-func (r *reducer) allreduce(rank int, op Op, in []float64) []float64 {
+func (r *reducer) allreduce(rank int, op Op, in []float64) (out []float64, aborted bool) {
 	r.mu.Lock()
 	// Wait for any previous reduction's readers to drain.
-	for r.left > 0 {
+	for r.left > 0 && !r.down {
 		r.cond.Wait()
+	}
+	if r.down {
+		r.mu.Unlock()
+		return nil, true
 	}
 	r.parts[rank] = append(r.parts[rank][:0], in...)
 	r.arrived++
@@ -106,8 +143,12 @@ func (r *reducer) allreduce(rank int, op Op, in []float64) []float64 {
 		r.left = r.size
 		r.cond.Broadcast()
 	} else {
-		for r.left == 0 {
+		for r.left == 0 && !r.down {
 			r.cond.Wait()
+		}
+		if r.down {
+			r.mu.Unlock()
+			return nil, true
 		}
 	}
 	result := append([]float64(nil), r.out...)
@@ -116,13 +157,32 @@ func (r *reducer) allreduce(rank int, op Op, in []float64) []float64 {
 		r.cond.Broadcast()
 	}
 	r.mu.Unlock()
-	return result
+	return result, false
+}
+
+func (r *reducer) abortAll() {
+	r.mu.Lock()
+	r.down = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+func (r *reducer) pendingWaiters() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.arrived + r.left
 }
 
 // Allreduce combines in across all ranks element-wise with op and returns
 // the combined vector on every rank. All ranks must pass the same length.
+// Panics with the world's *AbortError if the world aborts mid-reduction.
 func (c *Comm) Allreduce(op Op, in []float64) []float64 {
-	return c.world.red.allreduce(c.rank, op, in)
+	out, aborted := c.world.red.allreduce(c.rank, op, in)
+	if aborted {
+		panic(c.world.Aborted())
+	}
+	c.world.progressTick()
+	return out
 }
 
 // Allreduce1 reduces a single value across all ranks.
@@ -137,6 +197,7 @@ type gatherBuf struct {
 	size    int
 	arrived int
 	left    int
+	down    bool
 	parts   [][]float64
 }
 
@@ -146,10 +207,14 @@ func (g *gatherBuf) init(size int) {
 	g.parts = make([][]float64, size)
 }
 
-func (g *gatherBuf) gather(rank int, in []float64) [][]float64 {
+func (g *gatherBuf) gather(rank int, in []float64) (out [][]float64, aborted bool) {
 	g.mu.Lock()
-	for g.left > 0 {
+	for g.left > 0 && !g.down {
 		g.cond.Wait()
+	}
+	if g.down {
+		g.mu.Unlock()
+		return nil, true
 	}
 	g.parts[rank] = append([]float64(nil), in...)
 	g.arrived++
@@ -158,11 +223,14 @@ func (g *gatherBuf) gather(rank int, in []float64) [][]float64 {
 		g.left = g.size
 		g.cond.Broadcast()
 	} else {
-		for g.left == 0 {
+		for g.left == 0 && !g.down {
 			g.cond.Wait()
 		}
+		if g.down {
+			g.mu.Unlock()
+			return nil, true
+		}
 	}
-	var out [][]float64
 	if rank == 0 {
 		out = make([][]float64, g.size)
 		copy(out, g.parts)
@@ -175,13 +243,32 @@ func (g *gatherBuf) gather(rank int, in []float64) [][]float64 {
 		g.cond.Broadcast()
 	}
 	g.mu.Unlock()
-	return out
+	return out, false
+}
+
+func (g *gatherBuf) abortAll() {
+	g.mu.Lock()
+	g.down = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *gatherBuf) pendingWaiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.arrived + g.left
 }
 
 // Gather collects each rank's vector on rank 0, which receives a slice of
-// per-rank vectors (indexed by rank); other ranks receive nil.
+// per-rank vectors (indexed by rank); other ranks receive nil. Panics with
+// the world's *AbortError if the world aborts mid-gather.
 func (c *Comm) Gather(in []float64) [][]float64 {
-	return c.world.gather.gather(c.rank, in)
+	out, aborted := c.world.gather.gather(c.rank, in)
+	if aborted {
+		panic(c.world.Aborted())
+	}
+	c.world.progressTick()
+	return out
 }
 
 // Bcast distributes root's buffer contents to every rank's buf. All ranks

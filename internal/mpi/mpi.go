@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/bricklab/brick/internal/fault"
 	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/trace"
 )
@@ -43,12 +44,28 @@ type World struct {
 	pers   persistReg
 	rec    *trace.Recorder
 	reg    *metrics.Registry
+
+	// Fault tolerance (see abort.go, watchdog.go): abortCh is closed by the
+	// first abort and unblocks every pending wait; abortVal carries the
+	// cause; wdog is the optional stall detector; fault the optional
+	// injector consulted by sends.
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	abortVal  atomic.Pointer[AbortError]
+	wdog      *watchdog
+	fault     *fault.Injector
 }
 
 // SetTrace attaches an event recorder; every Isend/Irecv posting and Wait
 // interval is recorded on it. Call before Run. A nil recorder disables
 // tracing (the default).
 func (w *World) SetTrace(rec *trace.Recorder) { w.rec = rec }
+
+// SetFault attaches a fault injector; every send (one-shot Isend and
+// persistent Start) consults it for injected delays and one-shot stalls.
+// Call before Run. A nil injector disables injection (the default) at the
+// cost of one nil check per send.
+func (w *World) SetFault(in *fault.Injector) { w.fault = in }
 
 // SetMetrics attaches a metrics registry; every rank records per-message
 // send/recv latency and size histograms and posted-receive match wait time
@@ -92,7 +109,7 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	w := &World{size: size, boxes: make([]*inbox, size)}
+	w := &World{size: size, boxes: make([]*inbox, size), abortCh: make(chan struct{})}
 	for i := range w.boxes {
 		w.boxes[i] = newInbox()
 	}
@@ -107,18 +124,27 @@ func NewWorld(size int) *World {
 func (w *World) Size() int { return w.size }
 
 // Run starts one goroutine per rank, invoking body with that rank's Comm,
-// and blocks until every rank returns. A panic in any rank is re-raised in
-// the caller, annotated with the rank.
+// and blocks until every rank returns. A panic in any rank aborts the
+// whole world: every other rank blocked in a Wait, Barrier, or collective
+// unwinds with the same *AbortError instead of hanging, and Run re-raises
+// that *AbortError (carrying the originating rank and recovered value) in
+// the caller once all ranks have returned. If SetWatchdog armed stall
+// detection, the watchdog runs for the duration of the call.
 func (w *World) Run(body func(*Comm)) {
+	stopWatchdog := w.startWatchdog()
 	var wg sync.WaitGroup
-	panics := make([]any, w.size)
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[rank] = p
+					if ae, ok := p.(*AbortError); ok && ae == w.Aborted() {
+						// A victim: this rank was unblocked by the
+						// world-wide abort, not an originator.
+						return
+					}
+					w.abort(rank, p)
 				}
 			}()
 			c := &Comm{world: w, rank: rank}
@@ -129,10 +155,9 @@ func (w *World) Run(body func(*Comm)) {
 		}(r)
 	}
 	wg.Wait()
-	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
-		}
+	stopWatchdog()
+	if ae := w.Aborted(); ae != nil {
+		panic(ae)
 	}
 }
 
@@ -195,6 +220,8 @@ type Request struct {
 
 	pc    *pchan // non-nil for persistent requests (see persistent.go)
 	psend bool   // persistent direction: true = send endpoint
+
+	peer, tag int // endpoints for diagnostics (dst for sends, src for recvs)
 }
 
 // envelope is a send sitting in a destination inbox awaiting a matching
@@ -240,6 +267,11 @@ func (c *Comm) Isend(dst, tag int, buf []float64) *Request {
 	if tag < 0 {
 		panic("mpi: send tag must be non-negative")
 	}
+	if f := c.world.fault; f != nil {
+		if d := f.SendDelay(c.rank); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	c.sentMsgs.Add(1)
 	c.sentBytes.Add(int64(8 * len(buf)))
 	if rec := c.world.rec; rec != nil {
@@ -257,12 +289,12 @@ func (c *Comm) Isend(dst, tag int, buf []float64) *Request {
 			box.recvs = append(box.recvs[:i], box.recvs[i+1:]...)
 			box.mu.Unlock()
 			deliver(env, p)
-			return &Request{done: env.done, comm: c}
+			return &Request{done: env.done, comm: c, peer: dst, tag: tag}
 		}
 	}
 	box.sends = append(box.sends, env)
 	box.mu.Unlock()
-	return &Request{done: env.done, comm: c}
+	return &Request{done: env.done, comm: c, peer: dst, tag: tag}
 }
 
 // Irecv starts a nonblocking receive into buf from rank src (or AnySource)
@@ -286,12 +318,12 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 			box.sends = append(box.sends[:i], box.sends[i+1:]...)
 			box.mu.Unlock()
 			deliver(env, p)
-			return &Request{done: p.done, post: p, comm: c}
+			return &Request{done: p.done, post: p, comm: c, peer: src, tag: tag}
 		}
 	}
 	box.recvs = append(box.recvs, p)
 	box.mu.Unlock()
-	return &Request{done: p.done, post: p, comm: c}
+	return &Request{done: p.done, post: p, comm: c, peer: src, tag: tag}
 }
 
 // deliver copies the payload and completes both sides. It runs on whichever
@@ -324,7 +356,9 @@ func deliver(env *envelope, p *posted) {
 
 // Wait blocks until the request completes. For receives it returns the
 // number of elements received; for sends it returns 0. A persistent
-// request becomes inactive again and may be re-Started.
+// request becomes inactive again and may be re-Started. If the world
+// aborts while Wait is blocked, Wait panics with the world's *AbortError
+// (recovered by World.Run) instead of hanging.
 func (r *Request) Wait() int {
 	if r.pc != nil {
 		return r.waitPersistent()
@@ -341,9 +375,38 @@ func (r *Request) Wait() int {
 	if m != nil {
 		t0 = time.Now()
 	}
-	<-r.done
+	r.block()
 	if m != nil {
 		m.waitSeconds.Observe(time.Since(t0).Seconds())
+	}
+	return r.finish()
+}
+
+// block parks until the request's transfer completed, or panics with the
+// world's *AbortError if the world aborts first. The fast path — already
+// complete — is a single non-blocking channel read.
+func (r *Request) block() {
+	select {
+	case <-r.done:
+		return
+	default:
+	}
+	if r.comm == nil {
+		<-r.done
+		return
+	}
+	select {
+	case <-r.done:
+	case <-r.comm.world.abortCh:
+		panic(r.comm.world.Aborted())
+	}
+}
+
+// finish performs post-completion bookkeeping: receive accounting and the
+// watchdog progress tick. Returns the received element count (0 for sends).
+func (r *Request) finish() int {
+	if r.comm != nil {
+		r.comm.world.progressTick()
 	}
 	if r.post == nil {
 		return 0 // send side
@@ -356,13 +419,17 @@ func (r *Request) Wait() int {
 	return n
 }
 
-// Waitall waits for every request.
-func Waitall(reqs []*Request) {
+// Waitall waits for every request (nil entries are skipped) and returns
+// the total number of elements received across them, so callers can check
+// exchange volume without tracking per-request returns.
+func Waitall(reqs []*Request) int {
+	n := 0
 	for _, r := range reqs {
 		if r != nil {
-			r.Wait()
+			n += r.Wait()
 		}
 	}
+	return n
 }
 
 // Send is a blocking convenience wrapper: Isend + Wait. Because delivery is

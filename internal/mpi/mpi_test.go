@@ -45,8 +45,15 @@ func TestRunPropagatesPanic(t *testing.T) {
 		if p == nil {
 			t.Fatal("panic not propagated")
 		}
-		if !strings.Contains(p.(string), "rank 2") || !strings.Contains(p.(string), "boom") {
-			t.Errorf("panic message %q", p)
+		ae, ok := p.(*AbortError)
+		if !ok {
+			t.Fatalf("panic value %T, want *AbortError", p)
+		}
+		if ae.Rank != 2 || ae.Value != "boom" {
+			t.Errorf("AbortError = {Rank:%d Value:%v}, want {2 boom}", ae.Rank, ae.Value)
+		}
+		if !strings.Contains(ae.Error(), "rank 2") || !strings.Contains(ae.Error(), "boom") {
+			t.Errorf("panic message %q", ae.Error())
 		}
 	}()
 	NewWorld(4).Run(func(c *Comm) {

@@ -55,6 +55,8 @@ type pchan struct {
 	recvDone   chan struct{} // cap 1: delivery token for the recv side
 	sendComm   *Comm         // nil until the send side registered
 	recvComm   *Comm         // nil until the recv side registered
+	sendFreed  bool          // send side called Free
+	recvFreed  bool          // recv side called Free
 	sendLabel  string
 	recvLabel  string
 }
@@ -63,17 +65,31 @@ func newPchan(key endpointKey) *pchan {
 	return &pchan{key: key, sendDone: make(chan struct{}, 1), recvDone: make(chan struct{}, 1)}
 }
 
-// persistReg is the world-level table of not-yet-matched persistent
-// endpoints. It is touched only at plan build/teardown time.
+// persistReg is the world-level table of persistent endpoints: the pending
+// maps hold not-yet-matched endpoints, and all holds every live pchan
+// (matched or not) until both sides Free it — the watchdog scans it for
+// in-flight transfers and leak tests count it. It is touched only at plan
+// build/teardown time.
 type persistReg struct {
 	mu    sync.Mutex
 	sends map[endpointKey][]*pchan
 	recvs map[endpointKey][]*pchan
+	all   []*pchan
 }
 
 func (pr *persistReg) init() {
 	pr.sends = map[endpointKey][]*pchan{}
 	pr.recvs = map[endpointKey][]*pchan{}
+}
+
+// dropLocked removes pc from the live list; pr.mu held.
+func (pr *persistReg) dropLocked(pc *pchan) {
+	for i, c := range pr.all {
+		if c == pc {
+			pr.all = append(pr.all[:i], pr.all[i+1:]...)
+			return
+		}
+	}
 }
 
 // pop removes and returns the oldest pending endpoint for key, or nil.
@@ -126,6 +142,7 @@ func (c *Comm) SendInit(dst, tag int, buf []float64) *Request {
 	if pc == nil {
 		pc = newPchan(key)
 		pr.sends[key] = append(pr.sends[key], pc)
+		pr.all = append(pr.all, pc)
 	}
 	pr.mu.Unlock()
 	pc.mu.Lock()
@@ -156,6 +173,7 @@ func (c *Comm) RecvInit(src, tag int, buf []float64) *Request {
 	if pc == nil {
 		pc = newPchan(key)
 		pr.recvs[key] = append(pr.recvs[key], pc)
+		pr.all = append(pr.all, pc)
 	}
 	pr.mu.Unlock()
 	pc.mu.Lock()
@@ -208,6 +226,11 @@ func (r *Request) Start() {
 	}
 	c := r.comm
 	if r.psend {
+		if f := c.world.fault; f != nil {
+			if d := f.SendDelay(c.rank); d > 0 {
+				time.Sleep(d)
+			}
+		}
 		c.sentMsgs.Add(1)
 		c.sentBytes.Add(int64(8 * len(pc.sendBuf)))
 		if m := c.m; m != nil {
@@ -256,49 +279,105 @@ func Startall(reqs []*Request) {
 	}
 }
 
+// token returns this side's completion-token channel.
+func (r *Request) token() chan struct{} {
+	if r.psend {
+		return r.pc.sendDone
+	}
+	return r.pc.recvDone
+}
+
 // waitPersistent completes one Start cycle: consume this side's completion
 // token, return the request to the inactive state, and on the receive side
-// account the delivered payload.
+// account the delivered payload. If the world aborts first, it panics with
+// the *AbortError. The fast path — token already released — is a single
+// non-blocking channel read.
 func (r *Request) waitPersistent() int {
 	c := r.comm
-	pc := r.pc
 	var t0 time.Time
 	m := c.m
 	if m != nil {
 		t0 = time.Now()
 	}
-	var n int
-	if r.psend {
-		<-pc.sendDone
-		pc.mu.Lock()
-		pc.sendActive = false
-		pc.mu.Unlock()
-	} else {
-		<-pc.recvDone
-		pc.mu.Lock()
-		pc.recvActive = false
-		n = len(pc.sendBuf)
-		pc.mu.Unlock()
+	tok := r.token()
+	select {
+	case <-tok:
+	default:
+		select {
+		case <-tok:
+		case <-c.world.abortCh:
+			panic(c.world.Aborted())
+		}
 	}
+	n := r.finishPersistent()
 	if m != nil {
 		m.waitSeconds.Observe(time.Since(t0).Seconds())
 	}
+	return n
+}
+
+// finishPersistent runs after this side's token was consumed: deactivate,
+// tick progress, and on the receive side account the delivered payload.
+func (r *Request) finishPersistent() int {
+	c := r.comm
+	pc := r.pc
+	c.world.progressTick()
+	var n int
 	if r.psend {
+		pc.mu.Lock()
+		pc.sendActive = false
+		pc.mu.Unlock()
 		return 0
 	}
+	pc.mu.Lock()
+	pc.recvActive = false
+	n = len(pc.sendBuf)
+	pc.mu.Unlock()
 	c.recvMsgs.Add(1)
 	c.recvBytes.Add(int64(8 * n))
-	if m != nil {
+	if m := c.m; m != nil {
 		m.recvBytes.Observe(float64(8 * n))
 	}
 	return n
 }
 
+// Rebind swaps the buffer behind an inactive persistent request, keeping
+// the matched channel and its (src, dst, tag) identity. The peer is
+// unaffected — the wire format is the flat []float64 payload either way —
+// which is what lets a degraded exchanger substitute a copy-window buffer
+// for a mapped view mid-run without renegotiating the plan. Panics on a
+// non-persistent request, on an active (Started, un-Waited) request, or if
+// the new buffer breaks send/recv size compatibility.
+func (r *Request) Rebind(buf []float64) {
+	pc := r.pc
+	if pc == nil {
+		panic("mpi: Rebind on a non-persistent request")
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if r.psend {
+		if pc.sendActive {
+			panic("mpi: Rebind on an active persistent send")
+		}
+		pc.sendBuf = buf
+	} else {
+		if pc.recvActive {
+			panic("mpi: Rebind on an active persistent receive")
+		}
+		pc.recvBuf = buf
+	}
+	pc.checkSizesLocked()
+}
+
 // Free tears down a persistent endpoint. An endpoint whose peer never
-// registered is removed from the pending table, so a later plan may reuse
-// its (src, dst, tag) triple without cross-matching stale state. Freeing a
-// matched endpoint is a no-op beyond deactivating this request. Free must
-// not be called with a Start outstanding.
+// registered is removed from the pending table — so a later plan may reuse
+// its (src, dst, tag) triple without cross-matching stale state — and from
+// the live list immediately. A matched endpoint stays live until the OTHER
+// side frees too (the peer still holds the shared channel), at which point
+// the channel leaves the live list; this is what keeps
+// World.PersistentPending honest for leak tests. Free must not be called
+// with a Start outstanding; calling Free twice on the same request is a
+// no-op.
 func (r *Request) Free() {
 	pc := r.pc
 	if pc == nil {
@@ -306,11 +385,46 @@ func (r *Request) Free() {
 	}
 	pr := &r.comm.world.pers
 	pr.mu.Lock()
+	pc.mu.Lock()
+	var matched bool
 	if r.psend {
-		remove(pr.sends, pc.key, pc)
+		pc.sendFreed = true
+		matched = pc.recvComm != nil
 	} else {
-		remove(pr.recvs, pc.key, pc)
+		pc.recvFreed = true
+		matched = pc.sendComm != nil
+	}
+	gone := !matched || (pc.sendFreed && pc.recvFreed)
+	pc.mu.Unlock()
+	if !matched {
+		if r.psend {
+			remove(pr.sends, pc.key, pc)
+		} else {
+			remove(pr.recvs, pc.key, pc)
+		}
+	}
+	if gone {
+		pr.dropLocked(pc)
 	}
 	pr.mu.Unlock()
 	r.pc = nil
+}
+
+// PersistentPending reports the persistent-endpoint population: unmatched
+// counts endpoints whose peer never registered (each is a latent deadlock —
+// the watchdog reports them as psend-unpaired/precv-unpaired), and live
+// counts channels not yet freed by both sides. After every exchanger on
+// every rank is closed, both should be zero; leak tests assert exactly
+// that.
+func (w *World) PersistentPending() (unmatched, live int) {
+	pr := &w.pers
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	for _, list := range pr.sends {
+		unmatched += len(list)
+	}
+	for _, list := range pr.recvs {
+		unmatched += len(list)
+	}
+	return unmatched, len(pr.all)
 }

@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrWaitTimeout is the sentinel wrapped by every TimeoutError;
+// errors.Is(err, ErrWaitTimeout) identifies a deadline expiry regardless
+// of which operation hit it.
+var ErrWaitTimeout = errors.New("mpi: wait timed out")
+
+// TimeoutError reports a WaitTimeout/WaitallTimeout deadline expiry with
+// the operation that was still pending.
+type TimeoutError struct {
+	// After is the deadline that expired.
+	After time.Duration
+	// Op describes the pending operation, e.g. "wait send dst=3 tag=7".
+	Op string
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("mpi: %s timed out after %v", e.Op, e.After)
+}
+
+func (e *TimeoutError) Unwrap() error { return ErrWaitTimeout }
+
+// opName describes the request for timeout diagnostics (cold path only).
+func (r *Request) opName() string {
+	switch {
+	case r.pc != nil && r.psend:
+		return fmt.Sprintf("wait psend dst=%d tag=%d", r.pc.key.dst, r.pc.key.tag)
+	case r.pc != nil:
+		return fmt.Sprintf("wait precv src=%d tag=%d", r.pc.key.src, r.pc.key.tag)
+	case r.post != nil:
+		return fmt.Sprintf("wait recv src=%s tag=%s", wildcard(r.peer), wildcard(r.tag))
+	default:
+		return fmt.Sprintf("wait send dst=%d tag=%d", r.peer, r.tag)
+	}
+}
+
+// WaitTimeout is the deadline-aware, error-returning form of Wait: it
+// blocks at most d, returning the received element count on completion, a
+// *TimeoutError (wrapping ErrWaitTimeout) if the deadline expires, or the
+// world's *AbortError if the world aborts first. On timeout the request is
+// STILL IN FLIGHT — the transfer was not cancelled and a later Wait or
+// WaitTimeout may still complete it; on abort or completion the request is
+// finished exactly as by Wait. Unlike Wait, an abort is returned as an
+// error rather than raised as a panic, so single-goroutine drivers and
+// tests can observe it without a recover.
+func (r *Request) WaitTimeout(d time.Duration) (int, error) {
+	var abortCh chan struct{} // nil: never ready in the select below
+	var w *World
+	if r.comm != nil {
+		w = r.comm.world
+		abortCh = w.abortCh
+	}
+	if r.pc != nil {
+		tok := r.token()
+		select {
+		case <-tok:
+			return r.finishPersistent(), nil
+		default:
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-tok:
+			return r.finishPersistent(), nil
+		case <-abortCh:
+			return 0, w.Aborted()
+		case <-t.C:
+			return 0, &TimeoutError{After: d, Op: r.opName()}
+		}
+	}
+	select {
+	case <-r.done:
+		return r.finish(), nil
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.done:
+		return r.finish(), nil
+	case <-abortCh:
+		return 0, w.Aborted()
+	case <-t.C:
+		return 0, &TimeoutError{After: d, Op: r.opName()}
+	}
+}
+
+// WaitallTimeout waits for every request under ONE shared deadline (d
+// bounds the whole batch, not each request) and surfaces per-request
+// status: counts[i] is request i's received element count, errs[i] its
+// failure (nil on success, a *TimeoutError for requests still pending at
+// the deadline, the *AbortError for requests cut off by an abort), and the
+// returned error is the first non-nil entry of errs. Nil requests are
+// skipped. Requests that timed out remain in flight, as with WaitTimeout.
+func WaitallTimeout(reqs []*Request, d time.Duration) (counts []int, errs []error, err error) {
+	counts = make([]int, len(reqs))
+	errs = make([]error, len(reqs))
+	deadline := time.Now().Add(d)
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		left := time.Until(deadline)
+		if left < 0 {
+			left = 0
+		}
+		counts[i], errs[i] = r.WaitTimeout(left)
+		if errs[i] != nil && err == nil {
+			err = errs[i]
+		}
+	}
+	return counts, errs, err
+}

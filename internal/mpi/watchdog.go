@@ -1,0 +1,281 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The watchdog turns a silent deadlock — a plan bug leaving one request
+// unmatched, a peer that died without aborting — into a diagnostic. It is a
+// world-level goroutine (started by Run when SetWatchdog was called) that
+// samples two things: a progress counter ticked by every completed wait,
+// barrier passage, and collective, and the count of observably pending
+// operations (unmatched sends and receives in the inboxes, persistent
+// transfers started but undelivered, unpaired persistent endpoints, ranks
+// parked in collectives). When operations stay pending with zero progress
+// for a full timeout window, the watchdog compiles a StallReport naming
+// every pending operation and aborts the world with it.
+type watchdog struct {
+	timeout  time.Duration
+	onStall  func(*StallReport)
+	progress atomic.Int64
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// SetWatchdog arms stall detection: if operations stay pending with no
+// progress for the given timeout, the world aborts with an *AbortError
+// whose Value is the *StallReport (every blocked rank panics with it;
+// World.Run re-raises it). A non-nil onStall is invoked with the report
+// first — for logging or capture — and the abort still follows, because a
+// stalled world cannot make progress afterwards. Call before Run; a zero
+// timeout disables the watchdog (the default). When disabled, the runtime
+// pays one nil check per completed operation.
+func (w *World) SetWatchdog(timeout time.Duration, onStall func(*StallReport)) {
+	if timeout <= 0 {
+		w.wdog = nil
+		return
+	}
+	w.wdog = &watchdog{timeout: timeout, onStall: onStall}
+}
+
+// progressTick records one completed operation for stall detection.
+func (w *World) progressTick() {
+	if wd := w.wdog; wd != nil {
+		wd.progress.Add(1)
+	}
+}
+
+// startWatchdog launches the monitor goroutine; the returned func stops it
+// and waits for it to exit (Run calls it after all ranks returned).
+func (w *World) startWatchdog() func() {
+	wd := w.wdog
+	if wd == nil {
+		return func() {}
+	}
+	wd.stop = make(chan struct{})
+	wd.done = make(chan struct{})
+	go w.watchLoop(wd)
+	return func() {
+		close(wd.stop)
+		<-wd.done
+	}
+}
+
+func (w *World) watchLoop(wd *watchdog) {
+	defer close(wd.done)
+	tick := wd.timeout / 8
+	if tick < 200*time.Microsecond {
+		tick = 200 * time.Microsecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	last := int64(-1)
+	var since time.Time
+	for {
+		select {
+		case <-wd.stop:
+			return
+		case <-w.abortCh:
+			return
+		case <-t.C:
+			p := wd.progress.Load()
+			if p != last || w.pendingOps() == 0 {
+				last, since = p, time.Time{}
+				continue
+			}
+			if since.IsZero() {
+				since = time.Now()
+				continue
+			}
+			if time.Since(since) >= wd.timeout {
+				rep := w.StallReport()
+				rep.Watchdog = wd.timeout
+				if wd.onStall != nil {
+					wd.onStall(rep)
+				}
+				w.abort(WatchdogRank, rep)
+				return
+			}
+		}
+	}
+}
+
+// pendingOps is the cheap stall predicate: a count of operations that are
+// posted but not complete. Zero means the world is quiescent (computing)
+// and the watchdog stays silent regardless of elapsed time.
+func (w *World) pendingOps() int {
+	n := 0
+	for _, box := range w.boxes {
+		box.mu.Lock()
+		n += len(box.sends) + len(box.recvs)
+		box.mu.Unlock()
+	}
+	pr := &w.pers
+	pr.mu.Lock()
+	for _, pc := range pr.all {
+		pc.mu.Lock()
+		if pc.sendFired || pc.recvFired {
+			n++
+		}
+		pc.mu.Unlock()
+	}
+	pr.mu.Unlock()
+	n += w.bar.pendingWaiters()
+	n += w.red.pendingWaiters()
+	n += w.gather.pendingWaiters()
+	return n
+}
+
+// PendingOp is one stalled operation in a StallReport. Src/Dst/Tag are -1
+// for wildcard receives (AnySource/AnyTag).
+type PendingOp struct {
+	// Kind classifies the operation:
+	//
+	//	recv-posted     a posted Irecv no send has matched
+	//	send-unmatched  an Isend sitting in the destination inbox with no
+	//	                matching receive posted (the unexpected-message queue)
+	//	psend-unpaired  a persistent send endpoint whose RecvInit never
+	//	                registered (the classic mismatched-tag plan bug)
+	//	precv-unpaired  a persistent receive endpoint whose SendInit never
+	//	                registered
+	//	psend-active    a started persistent send whose peer has not started
+	//	precv-active    a started persistent receive whose peer has not started
+	Kind       string `json:"kind"`
+	Src        int    `json:"src"`
+	Dst        int    `json:"dst"`
+	Tag        int    `json:"tag"`
+	Bytes      int64  `json:"bytes"`
+	Persistent bool   `json:"persistent"`
+}
+
+// StallReport is the structured dump the watchdog produces on a stall:
+// every pending operation with its endpoints, plus the collective waiter
+// counts. Its String form is stable (sorted, fixed layout) and golden-
+// tested, so log scrapers can rely on it.
+type StallReport struct {
+	// Size is the world size; Watchdog the armed timeout (zero when the
+	// report was taken manually via World.StallReport).
+	Size     int           `json:"size"`
+	Watchdog time.Duration `json:"watchdog"`
+	// Barrier/Reduce/Gather count ranks parked in each collective.
+	Barrier int `json:"barrier"`
+	Reduce  int `json:"reduce"`
+	Gather  int `json:"gather"`
+	// Pending lists every stalled operation, sorted by (kind, src, dst, tag).
+	Pending []PendingOp `json:"pending"`
+}
+
+// StallReport takes a live snapshot of every pending operation. The
+// watchdog calls it on stall; tests and debugging hooks may call it at any
+// time (it only takes the runtime's internal locks briefly).
+func (w *World) StallReport() *StallReport {
+	rep := &StallReport{Size: w.size}
+	for dst, box := range w.boxes {
+		box.mu.Lock()
+		for _, env := range box.sends {
+			rep.Pending = append(rep.Pending, PendingOp{
+				Kind: "send-unmatched", Src: env.src, Dst: dst, Tag: env.tag,
+				Bytes: int64(8 * len(env.data)),
+			})
+		}
+		for _, p := range box.recvs {
+			rep.Pending = append(rep.Pending, PendingOp{
+				Kind: "recv-posted", Src: p.src, Dst: dst, Tag: p.tag,
+				Bytes: int64(8 * len(p.buf)),
+			})
+		}
+		box.mu.Unlock()
+	}
+	pr := &w.pers
+	pr.mu.Lock()
+	unpaired := map[*pchan]bool{}
+	addUnpaired := func(m map[endpointKey][]*pchan, kind string) {
+		for key, list := range m {
+			for _, pc := range list {
+				unpaired[pc] = true
+				pc.mu.Lock()
+				buf := pc.sendBuf
+				if buf == nil {
+					buf = pc.recvBuf
+				}
+				pc.mu.Unlock()
+				rep.Pending = append(rep.Pending, PendingOp{
+					Kind: kind, Src: key.src, Dst: key.dst, Tag: key.tag,
+					Bytes: int64(8 * len(buf)), Persistent: true,
+				})
+			}
+		}
+	}
+	addUnpaired(pr.sends, "psend-unpaired")
+	addUnpaired(pr.recvs, "precv-unpaired")
+	for _, pc := range pr.all {
+		if unpaired[pc] {
+			continue
+		}
+		pc.mu.Lock()
+		if pc.sendFired {
+			rep.Pending = append(rep.Pending, PendingOp{
+				Kind: "psend-active", Src: pc.key.src, Dst: pc.key.dst, Tag: pc.key.tag,
+				Bytes: int64(8 * len(pc.sendBuf)), Persistent: true,
+			})
+		}
+		if pc.recvFired {
+			rep.Pending = append(rep.Pending, PendingOp{
+				Kind: "precv-active", Src: pc.key.src, Dst: pc.key.dst, Tag: pc.key.tag,
+				Bytes: int64(8 * len(pc.recvBuf)), Persistent: true,
+			})
+		}
+		pc.mu.Unlock()
+	}
+	pr.mu.Unlock()
+	rep.Barrier = w.bar.pendingWaiters()
+	rep.Reduce = w.red.pendingWaiters()
+	rep.Gather = w.gather.pendingWaiters()
+	sort.Slice(rep.Pending, func(i, j int) bool {
+		a, b := rep.Pending[i], rep.Pending[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Tag < b.Tag
+	})
+	return rep
+}
+
+// wildcard renders -1 endpoints as "any".
+func wildcard(v int) string {
+	if v < 0 {
+		return "any"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// String renders the report in a stable, golden-tested layout: a summary
+// line, the collective waiter counts, then one line per pending operation
+// sorted by (kind, src, dst, tag).
+func (r *StallReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall: %d pending ops in world of %d", len(r.Pending), r.Size)
+	if r.Watchdog > 0 {
+		fmt.Fprintf(&b, " (no progress for %v)", r.Watchdog)
+	}
+	fmt.Fprintf(&b, "\n  collectives: barrier=%d reduce=%d gather=%d\n", r.Barrier, r.Reduce, r.Gather)
+	for _, op := range r.Pending {
+		fmt.Fprintf(&b, "  %-14s src=%s dst=%s tag=%s bytes=%d", op.Kind,
+			wildcard(op.Src), wildcard(op.Dst), wildcard(op.Tag), op.Bytes)
+		if op.Persistent {
+			b.WriteString(" persistent")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -170,6 +170,21 @@ func newFallbackArena(size, pagesize int) *Arena {
 	return &Arena{data: make([]byte, size), pagesize: pagesize}
 }
 
+// NewUnmappedArena allocates a heap-backed arena whose views are always
+// copy-based (Mapped() == false), on every platform. It is exactly the
+// degraded form NewArena falls back to when shared-memory setup fails at
+// runtime — exposed so fault injection and degradation tests can force
+// that path deterministically, including on Linux where real mapping would
+// normally succeed.
+func NewUnmappedArena(size int) (*Arena, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("shmem: arena size %d must be positive", size)
+	}
+	pagesize := os.Getpagesize()
+	size = (size + pagesize - 1) / pagesize * pagesize
+	return newFallbackArena(size, pagesize), nil
+}
+
 // fallbackView builds a copy-based view.
 func (a *Arena) fallbackView(segs []Segment, total int) *View {
 	v := &View{
