@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race soak bench bench-allocs bench-json bench-check
+.PHONY: all build vet fmt test race soak soak-recover bench bench-allocs bench-json bench-check
 
 all: build vet fmt test
 
@@ -32,8 +32,20 @@ race:
 # (per-send delays with jitter, a one-shot stall, forced MemMap
 # degradation) with the watchdog armed, asserting bit-identical checksums.
 # See docs/robustness.md.
+SOAK_FAULT ?= delay:rank=*:mean=200us:jitter=0.5,stall:rank=3:nth=40:dur=5ms,mapfail:rank=1
 soak:
-	$(GO) test -race -count=1 -v -run 'TestSoak' ./internal/harness/
+	$(GO) run -race ./cmd/soak -fault '$(SOAK_FAULT)'
+
+# soak-recover is the crash-and-recover soak: fatal faults (an injected
+# rank panic, silent payload corruption caught by -verify-crc, a MemMap
+# degradation) with checkpoints every 2 steps; every implementation must
+# recover and still finish bit-identical to its fault-free run. Committed
+# checkpoint epochs spill to SOAK_CKPT_DIR for postmortem on failure.
+SOAK_RECOVER_FAULT ?= panic:rank=3:step=5,corrupt:rank=2:nth=40:flips=2,mapfail:rank=1
+SOAK_CKPT_DIR ?= /tmp/brick-soak-ckpt
+soak-recover:
+	$(GO) run -race ./cmd/soak -ckpt -ckpt-every 2 -verify-crc \
+		-ckpt-dir $(SOAK_CKPT_DIR) -fault '$(SOAK_RECOVER_FAULT)'
 
 # One iteration of every benchmark as a smoke test (no unit tests: -run '^$').
 bench:

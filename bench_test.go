@@ -394,6 +394,47 @@ func BenchmarkAblation_MetricsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkAblation_CheckpointOverhead measures the recovery runtime's
+// cost on a fault-free run in its three states: checkpointing absent
+// (Config.Checkpoint false — the step loop pays one nil check), every 4
+// steps, and every 2 steps. The per-epoch cost (quiesce barriers + storage
+// copy + deposit) is reported as ckpt_ms/epoch alongside the committed
+// epoch count and snapshot volume.
+func BenchmarkAblation_CheckpointOverhead(b *testing.B) {
+	base := func() harness.Config {
+		cfg := benchConfig(harness.Layout, 32, stencil.Star7(), netmodel.ThetaKNL())
+		cfg.ExpandGhost = false
+		return cfg
+	}
+	b.Run("off", func(b *testing.B) {
+		runHarness(b, base())
+	})
+	for _, every := range []int{4, 2} {
+		b.Run(fmt.Sprintf("every%d", every), func(b *testing.B) {
+			cfg := base()
+			cfg.Checkpoint = true
+			cfg.CheckpointEvery = every
+			reg := metrics.NewRegistry()
+			cfg.Metrics = reg
+			runHarness(b, cfg)
+			var epochs, bytes int64
+			for _, s := range reg.Snapshot().Counters {
+				switch s.Name {
+				case metrics.CkptEpochsTotal:
+					epochs += s.Value
+				case metrics.CkptBytesTotal:
+					bytes += s.Value
+				}
+			}
+			if epochs > 0 {
+				b.ReportMetric(float64(epochs)/float64(b.N), "ckpt_epochs")
+				b.ReportMetric(float64(bytes)/float64(epochs)/1e6, "ckpt_MB/epoch")
+				b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(epochs), "ckpt_ms/epoch")
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_ParallelCompute measures the per-rank worker scaling of
 // the brick kernel (bricks as units of parallel work).
 func BenchmarkAblation_ParallelCompute(b *testing.B) {

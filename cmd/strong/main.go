@@ -22,7 +22,7 @@ func main() {
 		implList = flag.String("impl", "memmap,yask", "comma-separated implementations")
 		maxRanks = flag.Int("max-ranks", 512, "largest rank count to attempt")
 	)
-	common := cli.RegisterCommon(8, 8)
+	common := cli.RegisterCommon(8, 8, 8)
 	flag.Parse()
 
 	res, err := common.Resolve("strong", false)

@@ -65,7 +65,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace JSON of one exchange to this file")
 		benchOut = flag.String("bench-out", "", "write a BENCH_<impl>_<dim>.json baseline into this directory")
 	)
-	common := cli.RegisterCommon(8, 16)
+	common := cli.RegisterCommon(8, 8, 16)
 	flag.Parse()
 
 	im, err := cli.ParseImpl(*implName)

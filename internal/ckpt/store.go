@@ -1,0 +1,161 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store collects per-rank snapshots into world-wide epochs, double-
+// buffered: the newest COMPLETE epoch (one snapshot from every rank) is
+// what recovery restores from, and the epoch before it is retained until a
+// newer one completes — so a failure striking mid-checkpoint, after some
+// ranks deposited and others not, still finds an intact previous epoch. An
+// epoch commits atomically: Latest never serves a partially deposited one.
+//
+// Deposits happen inside the harness quiesce barrier, so per-epoch
+// completion is naturally synchronized; the mutex makes the store safe for
+// the concurrent deposits of one epoch and for StallReport-style readers.
+type Store struct {
+	mu    sync.Mutex
+	ranks int
+	dir   string // non-empty: spill each committed epoch to disk
+	cur   *epoch // accepting deposits, not yet complete
+	prev  *epoch // newest complete epoch
+
+	epochs int64 // committed epochs
+	bytes  int64 // payload bytes across committed epochs
+}
+
+// epoch is one world-wide checkpoint round at a fixed step.
+type epoch struct {
+	step  int
+	snaps []*Snapshot // by rank
+	n     int         // deposited so far
+	bytes int64
+}
+
+// NewStore creates a store for a world of ranks. A non-empty dir enables
+// disk spill: each committed epoch is written as
+// dir/epoch<step>/rank<N>.ckpt for postmortem or cross-process restart.
+func NewStore(ranks int, dir string) *Store {
+	return &Store{ranks: ranks, dir: dir}
+}
+
+// Put deposits rank's snapshot for the epoch at s.Step. The first deposit
+// of a new step opens a fresh epoch; the previous epoch must have
+// committed (a partial epoch at a DIFFERENT step means ranks disagree
+// about when to checkpoint — a protocol bug, rejected loudly). Replay
+// makes re-depositing an already-committed step legitimate: the committed
+// epoch simply rotates into prev and the re-deposit opens a new current
+// epoch at the same step. When all ranks have deposited, the epoch
+// commits (committed=true for the depositing rank that completed it) and,
+// if spill is enabled, is written to disk.
+func (st *Store) Put(s *Snapshot) (committed bool, err error) {
+	if s.Rank < 0 || s.Rank >= st.ranks {
+		return false, fmt.Errorf("ckpt: snapshot rank %d outside world of %d", s.Rank, st.ranks)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cur != nil && st.cur.step != s.Step {
+		if st.cur.n != st.ranks {
+			return false, fmt.Errorf("ckpt: epoch at step %d abandoned incomplete (%d/%d deposits) by deposit for step %d",
+				st.cur.step, st.cur.n, st.ranks, s.Step)
+		}
+		st.prev, st.cur = st.cur, nil
+	}
+	if st.cur != nil && st.cur.n == st.ranks {
+		// Same step re-deposited (replay passing the checkpoint again):
+		// rotate the committed round out and start a fresh one.
+		st.prev, st.cur = st.cur, nil
+	}
+	if st.cur == nil {
+		st.cur = &epoch{step: s.Step, snaps: make([]*Snapshot, st.ranks)}
+	}
+	if st.cur.snaps[s.Rank] != nil {
+		return false, fmt.Errorf("ckpt: rank %d deposited twice for step %d", s.Rank, s.Step)
+	}
+	st.cur.snaps[s.Rank] = s
+	st.cur.n++
+	st.cur.bytes += s.Bytes()
+	if st.cur.n == st.ranks {
+		st.epochs++
+		st.bytes += st.cur.bytes
+		if st.dir != "" {
+			if err := st.spillLocked(st.cur); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// spillLocked writes a committed epoch to dir/epoch<step>/rank<N>.ckpt.
+func (st *Store) spillLocked(e *epoch) error {
+	d := filepath.Join(st.dir, fmt.Sprintf("epoch%d", e.step))
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return fmt.Errorf("ckpt: spill: %w", err)
+	}
+	for rank, s := range e.snaps {
+		f, err := os.Create(filepath.Join(d, fmt.Sprintf("rank%d.ckpt", rank)))
+		if err != nil {
+			return fmt.Errorf("ckpt: spill: %w", err)
+		}
+		if err := s.EncodeTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("ckpt: spill rank %d: %w", rank, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("ckpt: spill rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// Latest returns rank's snapshot from the newest COMPLETE epoch, or nil if
+// no epoch has committed yet (recovery then replays from step zero).
+func (st *Store) Latest(rank int) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cur != nil && st.cur.n == st.ranks {
+		return st.cur.snaps[rank]
+	}
+	if st.prev != nil {
+		return st.prev.snaps[rank]
+	}
+	return nil
+}
+
+// LatestStep returns the step of the newest complete epoch, or -1.
+func (st *Store) LatestStep() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cur != nil && st.cur.n == st.ranks {
+		return st.cur.step
+	}
+	if st.prev != nil {
+		return st.prev.step
+	}
+	return -1
+}
+
+// Drop discards a partially deposited current epoch. Recovery calls it
+// before rewinding: a failure mid-checkpoint leaves some ranks deposited
+// for an epoch the world will never complete, and replay re-deposits that
+// step from scratch.
+func (st *Store) Drop() {
+	st.mu.Lock()
+	if st.cur != nil && st.cur.n != st.ranks {
+		st.cur = nil
+	}
+	st.mu.Unlock()
+}
+
+// Stats reports committed epochs and their cumulative payload bytes.
+func (st *Store) Stats() (epochs, bytes int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.epochs, st.bytes
+}

@@ -31,17 +31,24 @@ type Common struct {
 	Fault      string
 	FaultSeed  int64
 	Watchdog   time.Duration
+
+	Checkpoint      bool
+	CheckpointEvery int
+	CheckpointDir   string
+	MaxRecoveries   int
+	VerifyCRC       bool
 }
 
 // RegisterCommon installs the shared flags on the default flag set.
-// ghostDefault and itersDefault let the commands keep their historical
-// defaults (weak: 16 iterations; strong: 8).
-func RegisterCommon(ghostDefault, itersDefault int) *Common {
+// ghostDefault, brickDefault, and itersDefault let the commands keep their
+// historical defaults (weak: 16 iterations; strong: 8; soak: small fast
+// domains).
+func RegisterCommon(ghostDefault, brickDefault, itersDefault int) *Common {
 	c := &Common{}
 	flag.StringVar(&c.Stencil, "stencil", "7pt", "stencil: 7pt or 125pt")
 	flag.StringVar(&c.Machine, "machine", "theta-knl", "machine profile for the network model")
 	flag.IntVar(&c.Ghost, "ghost", ghostDefault, "ghost width (elements)")
-	flag.IntVar(&c.Brick, "brick", 8, "brick dimension")
+	flag.IntVar(&c.Brick, "brick", brickDefault, "brick dimension")
 	flag.IntVar(&c.Iters, "I", itersDefault, "timed iterations (timesteps)")
 	flag.IntVar(&c.Workers, "workers", 0, "compute workers per rank (0 = BRICK_WORKERS or GOMAXPROCS)")
 	flag.BoolVar(&c.Persistent, "persistent", true, "use persistent pre-matched exchange plans; false falls back to per-step tag matching")
@@ -50,6 +57,11 @@ func RegisterCommon(ghostDefault, itersDefault int) *Common {
 	flag.StringVar(&c.Fault, "fault", "", "fault-injection spec, e.g. delay:rank=*:mean=200us or panic:rank=1:step=3 (see docs/robustness.md)")
 	flag.Int64Var(&c.FaultSeed, "fault-seed", 0, "seed for the fault injector's deterministic jitter")
 	flag.DurationVar(&c.Watchdog, "watchdog", 0, "abort with a stall report if no exchange progress for this long (0 disables)")
+	flag.BoolVar(&c.Checkpoint, "ckpt", false, "checkpoint every -ckpt-every steps and recover from rank failures instead of failing loud")
+	flag.IntVar(&c.CheckpointEvery, "ckpt-every", 2, "steps between checkpoints under -ckpt")
+	flag.StringVar(&c.CheckpointDir, "ckpt-dir", "", "spill committed checkpoint epochs to this directory (brick-ckpt/v1 files)")
+	flag.IntVar(&c.MaxRecoveries, "max-recoveries", 3, "recovery budget under -ckpt before the run fails with the original abort")
+	flag.BoolVar(&c.VerifyCRC, "verify-crc", false, "verify payload CRCs at receive; detected corruption aborts (and recovers under -ckpt)")
 	return c
 }
 
@@ -104,6 +116,11 @@ func (c *Common) Apply(cfg *harness.Config, r Resolved) {
 	cfg.Fault = c.Fault
 	cfg.FaultSeed = c.FaultSeed
 	cfg.Watchdog = c.Watchdog
+	cfg.Checkpoint = c.Checkpoint
+	cfg.CheckpointEvery = c.CheckpointEvery
+	cfg.CheckpointDir = c.CheckpointDir
+	cfg.MaxRecoveries = c.MaxRecoveries
+	cfg.VerifyCRC = c.VerifyCRC
 }
 
 // Finish writes the metrics snapshot if -metrics-out was given.

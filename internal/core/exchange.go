@@ -420,6 +420,14 @@ func (ev *ExchangeView) End() { ev.Complete() }
 
 // Close releases the views and persistent endpoints.
 func (ev *ExchangeView) Close() error {
+	// Free the endpoints BEFORE unmapping the views: the mapped views back
+	// the persistent buffers, and Free both retracts undelivered Starts and
+	// serializes (on the channel lock) against a peer's delivery copying
+	// from them. Unmapping first would let an abort-unwinding rank pull the
+	// pages out from under a surviving peer mid-copy — a fatal SIGSEGV.
+	for _, r := range ev.pall {
+		r.Free()
+	}
 	var first error
 	for _, sv := range ev.sends {
 		if sv.view != nil {
@@ -427,9 +435,6 @@ func (ev *ExchangeView) Close() error {
 				first = err
 			}
 		}
-	}
-	for _, r := range ev.pall {
-		r.Free()
 	}
 	ev.sends = nil
 	ev.precvs, ev.psends, ev.pall = nil, nil, nil

@@ -389,6 +389,15 @@ func (sv *ShiftView) Complete() {}
 
 // Close releases the mmap views and persistent endpoints.
 func (sv *ShiftView) Close() error {
+	// Free every endpoint before unmapping any slab view: the views back
+	// the persistent buffers, and Free retracts undelivered Starts and
+	// serializes against a peer's in-flight copy (see ExchangeView.Close).
+	for axis := 0; axis < 3; axis++ {
+		for _, r := range sv.preqs[axis].all {
+			r.Free()
+		}
+		sv.preqs[axis] = phaseReqs{}
+	}
 	var first error
 	for axis := 0; axis < 3; axis++ {
 		for side := 0; side < 2; side++ {
@@ -400,10 +409,6 @@ func (sv *ShiftView) Close() error {
 				}
 			}
 		}
-		for _, r := range sv.preqs[axis].all {
-			r.Free()
-		}
-		sv.preqs[axis] = phaseReqs{}
 	}
 	return first
 }

@@ -51,6 +51,13 @@ const (
 	// KindAllocFail forces plan compilation to fail with an error on the
 	// rank, exercising the error-abort path during exchanger setup.
 	KindAllocFail Kind = "allocfail"
+	// KindCorrupt flips bytes in the payload of the rank's Nth send as it is
+	// delivered — silent data corruption "on the wire". The sender's buffer
+	// is untouched; the receiver gets flipped bytes. With receive-side CRC
+	// verification enabled (mpi.World.SetVerifyCRC) the corruption is
+	// detected at delivery and aborts the world; without it the corruption
+	// propagates silently into the results.
+	KindCorrupt Kind = "corrupt"
 )
 
 // AnyRank is the rank filter meaning "every rank" (spec: rank=*).
@@ -77,6 +84,20 @@ type stepClause struct {
 	step int
 }
 
+// corruptClause: flip bytes in the rank's nth posted send (1-based).
+type corruptClause struct {
+	rank  int
+	nth   int64
+	flips int // bytes to flip (>= 1)
+}
+
+// ByteFlip is one injected payload corruption: XOR the byte at offset Off
+// (into the payload's little-endian float64 bytes) with the non-zero Mask.
+type ByteFlip struct {
+	Off  int
+	Mask byte
+}
+
 // Injector holds a parsed fault plan plus the per-run mutable state (send
 // counters, PRNGs, metric caches). An Injector is single-run: build a fresh
 // one per world so one-shot faults and counters start clean.
@@ -89,12 +110,21 @@ type Injector struct {
 	panics     []stepClause
 	mapFails   []stepClause // step < 0: at allocation
 	allocFails []stepClause // step unused
+	corrupts   []corruptClause
 
-	mu       sync.Mutex
-	rngs     map[int]*rand.Rand
-	sends    map[int]int64
-	reg      *metrics.Registry
-	counters map[counterKey]*metrics.Counter
+	mu         sync.Mutex
+	rngs       map[int]*rand.Rand
+	sends      map[int]int64
+	panicFired map[panicKey]bool // one-shot: a crash is an event, not a property of the step
+	reg        *metrics.Registry
+	counters   map[counterKey]*metrics.Counter
+}
+
+// panicKey identifies one fired panic: the clause index plus the concrete
+// rank it fired on (a rank=* clause fires once per rank).
+type panicKey struct {
+	clause int
+	rank   int
 }
 
 type counterKey struct {
@@ -105,7 +135,10 @@ type counterKey struct {
 // New builds an empty injector (no faults); useful as a base for the With*
 // builders in tests. Parse is the production constructor.
 func New(seed int64) *Injector {
-	return &Injector{seed: seed, rngs: map[int]*rand.Rand{}, sends: map[int]int64{}}
+	return &Injector{
+		seed: seed, rngs: map[int]*rand.Rand{},
+		sends: map[int]int64{}, panicFired: map[panicKey]bool{},
+	}
 }
 
 // Enabled reports whether the injector holds any fault clause.
@@ -113,7 +146,8 @@ func (in *Injector) Enabled() bool {
 	if in == nil {
 		return false
 	}
-	return len(in.delays)+len(in.stalls)+len(in.panics)+len(in.mapFails)+len(in.allocFails) > 0
+	return len(in.delays)+len(in.stalls)+len(in.panics)+len(in.mapFails)+
+		len(in.allocFails)+len(in.corrupts) > 0
 }
 
 // Seed returns the PRNG seed.
@@ -215,19 +249,63 @@ func (in *Injector) SendDelay(rank int) time.Duration {
 
 // StepPanic panics (with a diagnostic naming the rank and step) when a
 // panic clause matches; the harness calls it at the top of every step.
+// Each clause fires at most once per rank per Injector: a crash is an
+// event, not a property of the step, so a respawned rank replaying the same
+// step after checkpoint recovery does not re-panic.
 func (in *Injector) StepPanic(rank, step int) {
 	if in == nil {
 		return
 	}
 	in.mu.Lock()
-	for _, c := range in.panics {
-		if matchRank(c.rank, rank) && c.step == step {
+	for i, c := range in.panics {
+		key := panicKey{clause: i, rank: rank}
+		if matchRank(c.rank, rank) && c.step == step && !in.panicFired[key] {
+			in.panicFired[key] = true
 			in.countLocked(KindPanic, rank)
 			in.mu.Unlock()
 			panic(fmt.Sprintf("fault: injected panic on rank %d at step %d", rank, step))
 		}
 	}
 	in.mu.Unlock()
+}
+
+// CorruptSend decides, at send-posting time, whether the rank's next send
+// (its Nth, by the same cumulative counter SendDelay advances) must be
+// corrupted in flight, and returns the byte flips to apply to the receive
+// buffer after delivery's copy. elems is the payload length in float64s.
+// Offsets and masks come from the rank's deterministic PRNG, so the same
+// spec and seed corrupt the same bytes of the same message twice. A clause
+// is keyed to one send ordinal, so it fires at most once per rank — a
+// recovered run replaying past the ordinal is not re-corrupted. Returns nil
+// (no corruption) on the hot path at the cost of a nil check.
+//
+// Call order matters: SendDelay increments the rank's send counter, so the
+// mpi layer calls SendDelay first, then CorruptSend for the same send.
+func (in *Injector) CorruptSend(rank, elems int) []ByteFlip {
+	if in == nil || elems <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.corrupts) == 0 {
+		return nil
+	}
+	nth := in.sends[rank]
+	var out []ByteFlip
+	for _, c := range in.corrupts {
+		if !matchRank(c.rank, rank) || c.nth != nth {
+			continue
+		}
+		rng := in.rngLocked(rank)
+		for i := 0; i < c.flips; i++ {
+			out = append(out, ByteFlip{
+				Off:  rng.Intn(8 * elems),
+				Mask: byte(1 + rng.Intn(255)), // non-zero: the flip always changes the byte
+			})
+		}
+		in.countLocked(KindCorrupt, rank)
+	}
+	return out
 }
 
 // MapFailAtAlloc reports whether the rank's MemMap arena allocation must
@@ -311,5 +389,15 @@ func (in *Injector) WithMapFail(rank, step int) *Injector {
 // WithAllocFail adds a plan-compile allocation-failure clause.
 func (in *Injector) WithAllocFail(rank int) *Injector {
 	in.allocFails = append(in.allocFails, stepClause{rank: rank, step: -1})
+	return in
+}
+
+// WithCorrupt adds a payload-corruption clause: flip `flips` bytes of the
+// rank's nth send (1-based) in flight.
+func (in *Injector) WithCorrupt(rank int, nth int64, flips int) *Injector {
+	if flips < 1 {
+		flips = 1
+	}
+	in.corrupts = append(in.corrupts, corruptClause{rank: rank, nth: nth, flips: flips})
 	return in
 }

@@ -163,3 +163,80 @@ func TestMetricsCounting(t *testing.T) {
 		t.Errorf("delay rank 1 count = %d, want 1", got)
 	}
 }
+
+func TestParseCorrupt(t *testing.T) {
+	in := MustParse("corrupt:rank=1:nth=3:flips=2", 5)
+	if len(in.corrupts) != 1 {
+		t.Fatalf("clause count: %+v", in)
+	}
+	if in.String() != "corrupt:rank=1:nth=3:flips=2" {
+		t.Errorf("round trip: %q", in.String())
+	}
+	for _, bad := range []string{
+		"corrupt:rank=0:nth=0",         // nth is 1-based
+		"corrupt:rank=0:nth=1:flips=0", // flips must be positive
+		"corrupt:rank=0:nth=1:step=2",  // unknown field for kind
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCorruptSendFiresOnceAtNthSend(t *testing.T) {
+	in := MustParse("corrupt:rank=0:nth=2:flips=3", 9)
+	var fired []int
+	for i := 1; i <= 4; i++ {
+		in.SendDelay(0) // advances the shared send counter
+		if flips := in.CorruptSend(0, 16); flips != nil {
+			fired = append(fired, i)
+			if len(flips) != 3 {
+				t.Errorf("send %d: %d flips, want 3", i, len(flips))
+			}
+			for _, fl := range flips {
+				if fl.Off < 0 || fl.Off >= 8*16 || fl.Mask == 0 {
+					t.Errorf("flip %+v out of range or no-op", fl)
+				}
+			}
+		}
+	}
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("corruption fired at sends %v, want [2]", fired)
+	}
+	in.SendDelay(1)
+	if in.CorruptSend(1, 16) != nil {
+		t.Error("other rank corrupted despite rank=0 filter")
+	}
+}
+
+func TestCorruptSendDeterministic(t *testing.T) {
+	flipsOf := func() []ByteFlip {
+		in := MustParse("corrupt:rank=0:nth=1:flips=4", 11)
+		in.SendDelay(0)
+		return in.CorruptSend(0, 32)
+	}
+	a, b := flipsOf(), flipsOf()
+	if len(a) != len(b) {
+		t.Fatalf("flip counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flip %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStepPanicOneShot(t *testing.T) {
+	in := MustParse("panic:rank=0:step=2", 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no injected panic")
+			}
+		}()
+		in.StepPanic(0, 2)
+	}()
+	// Replay passes the same step again: the clause must not re-fire, or a
+	// recovered run would die in the same place forever.
+	in.StepPanic(0, 2)
+}

@@ -16,6 +16,7 @@ import (
 //	panic:rank=1:step=3                    panic rank 1 at step 3
 //	mapfail:rank=2[:step=4]                degrade MemMap (alloc time, or step 4)
 //	allocfail:rank=2                       fail plan compile on rank 2
+//	corrupt:rank=1:nth=3[:flips=2]         flip bytes of rank 1's 3rd send in flight
 //
 // rank accepts a non-negative integer or * (every rank). Durations use Go
 // syntax (200us, 1ms, 2s). An empty spec yields a nil injector: injection
@@ -193,8 +194,32 @@ func (in *Injector) parseClause(clause string) error {
 			return err
 		}
 		in.WithAllocFail(rank)
+	case KindCorrupt:
+		f, err := fields(rest, "rank", "nth", "flips")
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		nth := int64(1)
+		if v := f["nth"]; v != "" {
+			nth, err = strconv.ParseInt(v, 10, 64)
+			if err != nil || nth < 1 {
+				return fmt.Errorf("bad nth %q (1-based send index)", v)
+			}
+		}
+		flips := 1
+		if v := f["flips"]; v != "" {
+			flips, err = strconv.Atoi(v)
+			if err != nil || flips < 1 {
+				return fmt.Errorf("bad flips %q (positive byte count)", v)
+			}
+		}
+		in.WithCorrupt(rank, nth, flips)
 	default:
-		return fmt.Errorf("unknown kind %q (delay, stall, panic, mapfail, allocfail)", parts[0])
+		return fmt.Errorf("unknown kind %q (delay, stall, panic, mapfail, allocfail, corrupt)", parts[0])
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"github.com/bricklab/brick/internal/netmodel"
 	"github.com/bricklab/brick/internal/stats"
 	"github.com/bricklab/brick/internal/stencil"
+	"github.com/bricklab/brick/internal/trace"
 )
 
 // Impl selects an exchange implementation.
@@ -151,11 +152,43 @@ type Config struct {
 	// throughput gauges. Nil (the default) disables all recording; the
 	// instrumented paths then cost only pointer checks.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, records the run's event timeline (mpi
+	// send/recv/wait intervals plus checkpoint and recovery phases) for
+	// Chrome-trace export and cmd/obsreport chain analysis.
+	Trace *trace.Recorder
+
+	// Checkpoint enables the recovery driver: ranks snapshot their state
+	// every CheckpointEvery steps (brick-ckpt/v1 epochs in internal/ckpt)
+	// behind a world-wide quiesce barrier, and a world abort — injected
+	// panic, detected corruption, stall — rewinds every rank to the last
+	// complete epoch, respawns the world, and replays. Disabled (the
+	// default), the step loop pays one nil check.
+	Checkpoint bool
+	// CheckpointEvery is the absolute-step period between snapshots
+	// (warmup steps included); <= 0 defaults to 2.
+	CheckpointEvery int
+	// CheckpointDir, when non-empty, spills each committed epoch to
+	// <dir>/epoch<step>/rank<N>.ckpt for postmortem inspection.
+	CheckpointDir string
+	// MaxRecoveries caps world recoveries before the run fails loud with
+	// the original abort chain; <= 0 defaults to 3.
+	MaxRecoveries int
+	// RecoveryBackoff is the base of the exponential backoff between
+	// repeated recoveries of the same rank (the k-th recovery of a rank
+	// waits base<<(k-2); the first is immediate). Zero disables backoff.
+	RecoveryBackoff time.Duration
+	// VerifyCRC enables receive-side payload CRC verification in the mpi
+	// layer: silent wire corruption (the `corrupt` fault kind) is detected
+	// at delivery and aborts the world — recoverable like a crash.
+	VerifyCRC bool
 
 	// inj is the compiled Fault spec, set by Run before the rank bodies
 	// start; the runners consult it at their hook points. Nil injects
 	// nothing.
 	inj *fault.Injector
+	// ck is the checkpoint/restore state shared by the runners and the
+	// recovery driver; nil unless Checkpoint is set.
+	ck *ckptState
 }
 
 func (c Config) ranks() int { return c.Procs[0] * c.Procs[1] * c.Procs[2] }
@@ -316,6 +349,9 @@ func describeMetrics(reg *metrics.Registry) {
 	reg.Describe(metrics.PlanStartsTotal, "Times a compiled exchange plan was started.")
 	reg.Describe(metrics.PlanStartBytesTotal, "Payload bytes posted by plan starts.")
 	reg.Describe(metrics.ExchangeDegradedTotal, "Exchangers that fell back to copy-based windows (labels: impl, rank, reason).")
+	reg.Describe(metrics.CkptBytesTotal, "Checkpoint snapshot payload bytes deposited (labels: impl, rank).")
+	reg.Describe(metrics.CkptEpochsTotal, "Committed world-wide checkpoint epochs (labels: impl).")
+	reg.Describe(metrics.RecoveryTotal, "Recovery verdicts (labels: rank, outcome=recovered|budget-exhausted).")
 }
 
 // recordPlan captures an exchanger's compiled plan into the result and
@@ -346,6 +382,10 @@ func recordPlan(res *Result, reg *metrics.Registry, im Impl, rank int, ex core.E
 // mpi.ErrAborted and, for rank errors, the rank's own error) instead of
 // deadlocking on the survivors. A stall under Config.Watchdog surfaces the
 // same way, with the AbortError carrying the StallReport.
+//
+// With Config.Checkpoint set the abort instead triggers checkpoint
+// recovery (see runRecoverable): the run only fails once MaxRecoveries is
+// exhausted, and then with the original abort chain.
 func Run(cfg Config) (res Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -355,21 +395,13 @@ func Run(cfg Config) (res Result, err error) {
 		return Result{}, err
 	}
 	cfg.inj = inj
+	if cfg.Checkpoint {
+		return runRecoverable(cfg)
+	}
 	n := cfg.ranks()
 	perRank := make([]Result, n)
-	w := mpi.NewWorld(n)
-	w.SetFault(inj)
-	w.SetWatchdog(cfg.Watchdog, nil)
-	if cfg.Metrics != nil {
-		describeMetrics(cfg.Metrics)
-		w.SetMetrics(cfg.Metrics)
-		inj.SetMetrics(cfg.Metrics)
-		// The process-wide pool serves every rank's kernels; attach for the
-		// duration of this run so tile time and queue depth are visible,
-		// then detach so later uninstrumented runs pay nothing.
-		stencil.DefaultPool().SetMetrics(cfg.Metrics)
-		defer stencil.DefaultPool().SetMetrics(nil)
-	}
+	w, detach := setupWorld(cfg)
+	defer detach()
 	// World.Run re-raises the first failure as an *mpi.AbortError panic once
 	// every rank has unwound; surface it as the run's error.
 	defer func() {
@@ -381,7 +413,39 @@ func Run(cfg Config) (res Result, err error) {
 			res, err = Result{}, ae
 		}
 	}()
-	w.Run(func(c *mpi.Comm) {
+	w.Run(rankBody(cfg, perRank))
+	return aggregate(cfg, perRank), nil
+}
+
+// setupWorld builds the world with the config's fault, watchdog, CRC,
+// trace, and metrics wiring. The returned detach func undoes the
+// process-wide pool instrumentation; call it when the run ends.
+func setupWorld(cfg Config) (*mpi.World, func()) {
+	w := mpi.NewWorld(cfg.ranks())
+	w.SetFault(cfg.inj)
+	w.SetWatchdog(cfg.Watchdog, nil)
+	w.SetVerifyCRC(cfg.VerifyCRC)
+	w.SetTrace(cfg.Trace)
+	detach := func() {}
+	if cfg.Metrics != nil {
+		describeMetrics(cfg.Metrics)
+		w.SetMetrics(cfg.Metrics)
+		cfg.inj.SetMetrics(cfg.Metrics)
+		// The process-wide pool serves every rank's kernels; attach for the
+		// duration of this run so tile time and queue depth are visible,
+		// then detach so later uninstrumented runs pay nothing.
+		stencil.DefaultPool().SetMetrics(cfg.Metrics)
+		detach = func() { stencil.DefaultPool().SetMetrics(nil) }
+	}
+	return w, detach
+}
+
+// rankBody returns the per-rank body shared by the fail-loud and
+// recoverable drivers. Under recovery the body re-runs per epoch, so
+// everything it builds — topology, decomposition, exchangers — is rebuilt
+// from scratch each time; the runners restore snapshot state internally.
+func rankBody(cfg Config, perRank []Result) func(*mpi.Comm) {
+	return func(c *mpi.Comm) {
 		cart := mpi.NewCart(c, []int{cfg.Procs[2], cfg.Procs[1], cfg.Procs[0]}, []bool{true, true, true})
 		var r Result
 		var err error
@@ -401,7 +465,10 @@ func Run(cfg Config) (res Result, err error) {
 		r.Checksum = c.Allreduce1(mpi.OpSum, r.Checksum)
 		if reg := cfg.Metrics; reg != nil {
 			// Mirror the drained traffic counters into the registry so the
-			// snapshot carries per-rank message/byte counts.
+			// snapshot carries per-rank message/byte counts. Counters
+			// accumulate across recovery epochs: traffic of a failed,
+			// replayed epoch stays counted, because those bytes really
+			// moved.
 			tr := c.TrafficSnapshot()
 			lb := metrics.Labels{"impl": cfg.Impl.String(), "rank": strconv.Itoa(c.Rank())}
 			reg.Counter(metrics.MPISentMsgsTotal, lb).Add(tr.SentMsgs)
@@ -410,7 +477,11 @@ func Run(cfg Config) (res Result, err error) {
 			reg.Counter(metrics.MPIRecvBytesTotal, lb).Add(tr.RecvBytes)
 		}
 		perRank[c.Rank()] = r
-	})
+	}
+}
+
+// aggregate merges the per-rank results into the run's Result.
+func aggregate(cfg Config, perRank []Result) Result {
 	out := perRank[0]
 	for _, r := range perRank[1:] {
 		out.Calc.Merge(r.Calc)
@@ -430,7 +501,7 @@ func Run(cfg Config) (res Result, err error) {
 		reg.Gauge(metrics.GStencilsGauge, lb).Set(out.GStencils)
 		reg.Gauge(metrics.MsgsPerExchangeGauge, lb).Set(float64(out.MsgsPerExchange))
 	}
-	return out, nil
+	return out
 }
 
 // initValue seeds the domain deterministically and injectively by global

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/bricklab/brick/internal/ckpt"
+	"github.com/bricklab/brick/internal/metrics"
+	"github.com/bricklab/brick/internal/mpi"
+	"github.com/bricklab/brick/internal/trace"
+)
+
+// ckptState is the checkpoint/restore machinery shared by the runners and
+// the recovery driver for one recoverable run. It owns the epoch store,
+// the checkpoint cadence, and the pre-failure plan digests that respawned
+// ranks must reproduce.
+type ckptState struct {
+	store *ckpt.Store
+	every int // absolute-step checkpoint period
+	impl  Impl
+	reg   *metrics.Registry
+	rec   *trace.Recorder
+
+	mu      sync.Mutex
+	digests map[int]string // rank -> plan digest of the first build
+}
+
+func newCkptState(cfg Config) *ckptState {
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 2
+	}
+	return &ckptState{
+		store:   ckpt.NewStore(cfg.ranks(), cfg.CheckpointDir),
+		every:   every,
+		impl:    cfg.Impl,
+		reg:     cfg.Metrics,
+		rec:     cfg.Trace,
+		digests: map[int]string{},
+	}
+}
+
+// noteDigest records rank's compiled plan digest on the first build and,
+// on every later build (i.e. after a respawn), asserts the re-paired plan
+// is identical. A digest mismatch means the rebuilt world compiled a
+// different communication pattern — replay from a snapshot taken under the
+// old plan would silently diverge, so it fails loud instead.
+func (ck *ckptState) noteDigest(rank int, digest string) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	prev, ok := ck.digests[rank]
+	if !ok {
+		ck.digests[rank] = digest
+		return nil
+	}
+	if prev != digest {
+		return fmt.Errorf("harness: rank %d re-paired plan digest %s differs from pre-failure digest %s: replay would diverge",
+			rank, digest, prev)
+	}
+	return nil
+}
+
+// checkpoint runs one world-coordinated snapshot round: a quiesce barrier
+// (no exchange can be in flight across a barrier — delivery into a rank's
+// buffers requires that rank to have posted, and every rank is here), the
+// capture and deposit, and a closing barrier so no rank races ahead and
+// mutates storage another rank is still encoding. Both barriers tick the
+// watchdog progress counter, so a slow checkpoint is progress, not a
+// stall.
+func (ck *ckptState) checkpoint(comm *mpi.Comm, rank, step int, capture func() *ckpt.Snapshot) {
+	comm.Barrier()
+	end := ck.rec.Begin(rank, trace.KindCkpt, fmt.Sprintf("ckpt step=%d", step), -1, 0)
+	snap := capture()
+	committed, err := ck.store.Put(snap)
+	if err != nil {
+		end()
+		comm.Abort(err)
+	}
+	if ck.reg != nil {
+		ck.reg.Counter(metrics.CkptBytesTotal, metrics.Labels{
+			"impl": ck.impl.String(), "rank": strconv.Itoa(rank)}).Add(snap.Bytes())
+		if committed {
+			ck.reg.Counter(metrics.CkptEpochsTotal, metrics.Labels{"impl": ck.impl.String()}).Add(1)
+		}
+	}
+	end()
+	comm.Barrier()
+}
+
+// recoveryBackoff returns how long to wait before the k-th recovery of a
+// rank: nothing for the first, then base, 2*base, 4*base, ... capped at
+// base<<10 so a misconfigured base cannot park the run for hours.
+func recoveryBackoff(base time.Duration, k int) time.Duration {
+	if base <= 0 || k <= 1 {
+		return 0
+	}
+	shift := k - 2
+	if shift > 10 {
+		shift = 10
+	}
+	return base << uint(shift)
+}
+
+// runRecoverable is the fail-over driver behind Config.Checkpoint: it runs
+// the same rank bodies as Run, but under mpi.World.RunRecoverable, so a
+// world abort — injected panic, detected corruption, stall — rewinds the
+// world to the last complete checkpoint epoch instead of killing the run.
+// Each recovery drops any half-deposited epoch, backs off exponentially for
+// repeat offenders, respawns every rank, and replays from the snapshot;
+// once MaxRecoveries is exhausted the original abort chain is re-raised
+// wrapped in a budget error.
+func runRecoverable(cfg Config) (res Result, err error) {
+	budget := cfg.MaxRecoveries
+	if budget <= 0 {
+		budget = 3
+	}
+	ck := newCkptState(cfg)
+	cfg.ck = ck
+	n := cfg.ranks()
+	perRank := make([]Result, n)
+	w, detach := setupWorld(cfg)
+	defer detach()
+
+	perRankRecoveries := map[int]int{}
+	total := 0
+	var exhausted *mpi.AbortError
+	onRecover := func(ae *mpi.AbortError, attempt int) bool {
+		retry := total < budget
+		total++
+		outcome := "recovered"
+		if !retry {
+			outcome = "budget-exhausted"
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter(metrics.RecoveryTotal, metrics.Labels{
+				"rank": strconv.Itoa(ae.Rank), "outcome": outcome}).Add(1)
+		}
+		if !retry {
+			exhausted = ae
+			return false
+		}
+		end := cfg.Trace.Begin(ae.Rank, trace.KindRecovery,
+			fmt.Sprintf("recovery attempt=%d", attempt), -1, 0)
+		// A failure mid-checkpoint leaves a partial epoch nobody will
+		// finish; replay re-deposits that step from scratch.
+		ck.store.Drop()
+		k := perRankRecoveries[ae.Rank] + 1
+		perRankRecoveries[ae.Rank] = k
+		if d := recoveryBackoff(cfg.RecoveryBackoff, k); d > 0 {
+			time.Sleep(d)
+		}
+		end()
+		return true
+	}
+
+	defer func() {
+		if p := recover(); p != nil {
+			ae, ok := p.(*mpi.AbortError)
+			if !ok {
+				panic(p)
+			}
+			if ae == exhausted {
+				err = fmt.Errorf("harness: recovery budget exhausted after %d recoveries: %w", budget, ae)
+			} else {
+				err = ae
+			}
+			res = Result{}
+		}
+	}()
+	w.RunRecoverable(rankBody(cfg, perRank), onRecover)
+	return aggregate(cfg, perRank), nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/bricklab/brick/internal/ckpt"
 	"github.com/bricklab/brick/internal/core"
 	"github.com/bricklab/brick/internal/gpu"
 	"github.com/bricklab/brick/internal/grid"
@@ -54,7 +55,17 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 		if bs, err = alloc(); err != nil {
 			return res, err
 		}
-		defer bs.Close()
+		// On an abort unwind, leak the arena instead of unmapping it: a
+		// surviving peer's parked one-shot envelope (or, without the Free
+		// retraction, a persistent delivery) may still reference its pages,
+		// and copying from an unmapped page is a fatal SIGSEGV no recover
+		// can catch. Respawn discards the stale references and the next
+		// epoch maps a fresh arena; a fail-loud run is exiting anyway.
+		defer func() {
+			if !cart.Comm().Aborting() {
+				bs.Close()
+			}
+		}()
 	} else {
 		bs = dec.Allocate()
 	}
@@ -82,7 +93,14 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	default:
 		ex = core.NewLayoutExchange(bx, bs, popt)
 	}
-	defer ex.Close()
+	// Same leak-on-abort rule: closing the exchanger unmaps its aliasing
+	// views and frees its endpoints; during an abort the safe move is to
+	// touch neither and let Respawn wipe the endpoint registry.
+	defer func() {
+		if !cart.Comm().Aborting() {
+			ex.Close()
+		}
+	}()
 
 	org := rankOrigin(cfg, cart)
 	for z := 0; z < cfg.Dom[2]; z++ {
@@ -139,6 +157,36 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	marg := margins(cfg)
 	cur := 0
 	comm := cart.Comm()
+	// Under the recovery driver: pin the plan digest (a respawned rank must
+	// re-pair the identical plan) and, when a checkpoint epoch exists,
+	// rewind storage, cursor, and degraded-exchange mode to it.
+	startAbs := 0
+	if ck := cfg.ck; ck != nil {
+		if err := ck.noteDigest(rank, ex.Plan().Digest()); err != nil {
+			return res, err
+		}
+		if snap := ck.store.Latest(rank); snap != nil {
+			if len(snap.Bufs) != 1 || len(snap.Bufs[0]) != len(bs.Data) {
+				return res, fmt.Errorf("harness: rank %d snapshot shape mismatch (want 1 buffer of %d floats)",
+					rank, len(bs.Data))
+			}
+			copy(bs.Data, snap.Bufs[0])
+			cur = snap.Cur
+			startAbs = snap.Step
+			if snap.Degraded != "" && degradable != nil && !degradable.Degraded() {
+				// The snapshot was taken after a mid-run degradation whose
+				// trigger step replay will not pass again; re-enter the same
+				// copy-window fallback before touching the wire.
+				if derr := degradable.Degrade(snap.Degraded); derr != nil {
+					return res, derr
+				}
+			}
+			if got := ex.Plan().Degraded; got != snap.Degraded {
+				return res, fmt.Errorf("harness: rank %d restored exchange degraded=%q but snapshot recorded %q",
+					rank, got, snap.Degraded)
+			}
+		}
+	}
 	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
 	wk := cfg.Workers
 	// Overlap communication with interior computation for every brick
@@ -156,8 +204,10 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			surfSpans = append(surfSpans, [2]int{sp.Start, sp.End()})
 		}
 	}
-	abs := 0 // absolute step index (warmup included): the fault hook clock
-	step := func(s int, timed bool) {
+	// abs is the absolute step index (warmup included): the fault-hook and
+	// checkpoint clock. s is the phase-local index driving the exchange
+	// cadence.
+	step := func(abs, s int, timed bool) {
 		cfg.inj.StepPanic(rank, abs)
 		if degradable != nil && cfg.inj.DegradeAtStep(rank, abs) {
 			// Between steps no exchange is in flight, so the mapped views
@@ -166,7 +216,6 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 				comm.Abort(derr)
 			}
 		}
-		abs++
 		comm.Barrier()
 		var calc time.Duration
 		src := core.NewBrick(info, bs, cur)
@@ -218,11 +267,26 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			po.observeStep(calc, tm.Pack, tm.Call, tm.Wait)
 		}
 	}
-	for s := 0; s < cfg.Warmup; s++ {
-		step(s, false)
-	}
-	for s := 0; s < cfg.Steps; s++ {
-		step(s, true)
+	// One loop over absolute steps so a recovered rank resumes mid-run at
+	// its snapshot step. Timing summaries of a recovered run cover only the
+	// steps since the restore; determinism (the checksums) is what replay
+	// guarantees, not re-measured timings.
+	for a := startAbs; a < cfg.Warmup+cfg.Steps; a++ {
+		if ck := cfg.ck; ck != nil && a%ck.every == 0 {
+			a := a
+			ck.checkpoint(comm, rank, a, func() *ckpt.Snapshot {
+				return &ckpt.Snapshot{
+					Rank: rank, Step: a, Cur: cur,
+					Degraded: ex.Plan().Degraded, Digest: ex.Plan().Digest(),
+					Bufs: [][]float64{append([]float64(nil), bs.Data...)},
+				}
+			})
+		}
+		if a < cfg.Warmup {
+			step(a, a, false)
+		} else {
+			step(a, a-cfg.Warmup, true)
+		}
 	}
 	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), ex)
 	res.Checksum = checksumBricks(dec, bs, cur, cfg)
@@ -281,6 +345,32 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	marg := margins(cfg)
 	cur := 0
 	comm := cart.Comm()
+	rank := comm.Rank()
+	// Under the recovery driver: pin the combined digest of both
+	// double-buffer plans, and rewind both grids and the cursor to the
+	// latest checkpoint epoch. Grid exchanges never degrade, so the
+	// snapshot's degraded reason must be empty, matching the plans.
+	startAbs := 0
+	if ck := cfg.ck; ck != nil {
+		digest := exs[0].Plan().Digest() + "+" + exs[1].Plan().Digest()
+		if err := ck.noteDigest(rank, digest); err != nil {
+			return res, err
+		}
+		if snap := ck.store.Latest(rank); snap != nil {
+			if len(snap.Bufs) != 2 || len(snap.Bufs[0]) != len(gs[0].Data) || len(snap.Bufs[1]) != len(gs[1].Data) {
+				return res, fmt.Errorf("harness: rank %d snapshot shape mismatch (want 2 buffers of %d floats)",
+					rank, len(gs[0].Data))
+			}
+			copy(gs[0].Data, snap.Bufs[0])
+			copy(gs[1].Data, snap.Bufs[1])
+			cur = snap.Cur
+			startAbs = snap.Step
+			if got := exs[0].Plan().Degraded; got != snap.Degraded {
+				return res, fmt.Errorf("harness: rank %d restored exchange degraded=%q but snapshot recorded %q",
+					rank, got, snap.Degraded)
+			}
+		}
+	}
 	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
 	r := cfg.Stencil.Radius
 	wk := cfg.Workers
@@ -290,10 +380,11 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	// sweep runs concurrently with the wire transfer. YASK stays serial as
 	// the paper's no-overlap baseline.
 	overlapTypes := cfg.Impl == MPITypes && period == 1
-	abs := 0 // absolute step index (warmup included): the fault hook clock
-	step := func(s int, timed bool) {
-		cfg.inj.StepPanic(comm.Rank(), abs)
-		abs++
+	// abs is the absolute step index (warmup included): the fault-hook and
+	// checkpoint clock. s is the phase-local index driving the exchange
+	// cadence.
+	step := func(abs, s int, timed bool) {
+		cfg.inj.StepPanic(rank, abs)
 		comm.Barrier()
 		var calc time.Duration
 		exchange := s%period == 0
@@ -345,11 +436,28 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			po.observeStep(calc, tm.Pack, tm.Call, tm.Wait)
 		}
 	}
-	for s := 0; s < cfg.Warmup; s++ {
-		step(s, false)
-	}
-	for s := 0; s < cfg.Steps; s++ {
-		step(s, true)
+	// One loop over absolute steps so a recovered rank resumes mid-run at
+	// its snapshot step (see runBrickRank).
+	for a := startAbs; a < cfg.Warmup+cfg.Steps; a++ {
+		if ck := cfg.ck; ck != nil && a%ck.every == 0 {
+			a := a
+			ck.checkpoint(comm, rank, a, func() *ckpt.Snapshot {
+				return &ckpt.Snapshot{
+					Rank: rank, Step: a, Cur: cur,
+					Degraded: exs[0].Plan().Degraded,
+					Digest:   exs[0].Plan().Digest() + "+" + exs[1].Plan().Digest(),
+					Bufs: [][]float64{
+						append([]float64(nil), gs[0].Data...),
+						append([]float64(nil), gs[1].Data...),
+					},
+				}
+			})
+		}
+		if a < cfg.Warmup {
+			step(a, a, false)
+		} else {
+			step(a, a-cfg.Warmup, true)
+		}
 	}
 	// Both double-buffer exchangers count toward the plan-reuse metrics;
 	// the result keeps exs[0]'s summary (the two plans are identical).
@@ -394,7 +502,13 @@ func runGPURank(cfg Config, cart *mpi.Cart) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	defer sim.Close()
+	// Leak-on-abort, as in runBrickRank: the sim's storage is a mapped
+	// arena that peers' parked transfers may still reference mid-abort.
+	defer func() {
+		if !cart.Comm().Aborting() {
+			sim.Close()
+		}
+	}()
 	org := rankOrigin(cfg, cart)
 	sim.Init(func(x, y, z int) float64 {
 		return initValue(org[0]+x, org[1]+y, org[2]+z)
@@ -404,10 +518,11 @@ func runGPURank(cfg Config, cart *mpi.Cart) (Result, error) {
 	marg := margins(cfg)
 	comm := cart.Comm()
 	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
-	abs := 0 // absolute step index (warmup included): the fault hook clock
-	step := func(s int, timed bool) {
+	// GPU runs have no snapshot hooks: recovery replays a modeled run from
+	// step zero (the sim is rebuilt each epoch; injected panics are
+	// one-shot, so replay runs clean).
+	step := func(abs, s int, timed bool) {
 		cfg.inj.StepPanic(comm.Rank(), abs)
-		abs++
 		comm.Barrier()
 		var cc gpu.CommCost
 		if s%period == 0 {
@@ -430,11 +545,12 @@ func runGPURank(cfg Config, cart *mpi.Cart) (Result, error) {
 			}
 		}
 	}
-	for s := 0; s < cfg.Warmup; s++ {
-		step(s, false)
-	}
-	for s := 0; s < cfg.Steps; s++ {
-		step(s, true)
+	for a := 0; a < cfg.Warmup+cfg.Steps; a++ {
+		if a < cfg.Warmup {
+			step(a, a, false)
+		} else {
+			step(a, a-cfg.Warmup, true)
+		}
 	}
 	// Floor: minimal per-neighbor plan over GPUDirect (NetworkCA line).
 	dec, err := core.NewBrickDecomp(cfg.Shape, cfg.Dom, cfg.Ghost, 2, layout.Surface3D())

@@ -65,17 +65,29 @@ func (r *SoakReport) String() string {
 
 // Soak runs every CPU implementation twice on the base configuration —
 // once clean, once under the benign fault spec with the watchdog armed —
-// and verifies the final checksums are bit-identical. base.Impl is
-// overridden per run; base.Fault/FaultSeed/Watchdog are overridden by the
-// soak's own parameters. The first run failure (a non-benign fault, a
-// watchdog abort, a checksum mismatch) is returned as an error alongside
-// the partial report.
+// and verifies the final checksums are bit-identical. See SoakSet.
 func Soak(base Config, faultSpec string, seed int64, watchdog time.Duration) (*SoakReport, error) {
+	return SoakSet(base, SoakImpls, faultSpec, seed, watchdog)
+}
+
+// SoakSet runs each implementation in impls twice on the base
+// configuration — once clean (checkpointing off: the pure fault-free
+// baseline), once under the fault spec with the watchdog armed and base's
+// recovery settings in force — and verifies the final checksums are
+// bit-identical. base.Impl is overridden per run; base.Fault/FaultSeed/
+// Watchdog are overridden by the soak's own parameters. With
+// base.Checkpoint set, the faulted run is allowed to crash and recover:
+// bit-identity then asserts deterministic replay, not merely benign
+// injection. The first run failure (a non-benign fault without recovery,
+// an exhausted recovery budget, a checksum mismatch) is returned as an
+// error alongside the partial report.
+func SoakSet(base Config, impls []Impl, faultSpec string, seed int64, watchdog time.Duration) (*SoakReport, error) {
 	rep := &SoakReport{Fault: faultSpec, Seed: seed, Watchdog: watchdog}
-	for _, im := range SoakImpls {
+	for _, im := range impls {
 		clean := base
 		clean.Impl = im
 		clean.Fault, clean.FaultSeed, clean.Watchdog = "", 0, watchdog
+		clean.Checkpoint = false
 		cres, err := Run(clean)
 		if err != nil {
 			return rep, fmt.Errorf("soak: %v clean run: %w", im, err)

@@ -65,6 +65,19 @@ const (
 	// heap-storage|unmapped-arena|map-failed|forced).
 	ExchangeDegradedTotal = "exchange_degraded_total"
 
+	// Checkpoint/recovery families of the internal/ckpt + harness recovery
+	// driver (PR 5).
+	//
+	// CkptBytesTotal: counter of snapshot payload bytes deposited
+	// (labels: impl, rank).
+	CkptBytesTotal = "ckpt_bytes_total"
+	// CkptEpochsTotal: counter of committed world-wide checkpoint epochs
+	// (labels: impl).
+	CkptEpochsTotal = "ckpt_epochs_total"
+	// RecoveryTotal: counter of recovery verdicts (labels: rank = failed
+	// rank or "-1" for watchdog aborts, outcome = recovered|budget-exhausted).
+	RecoveryTotal = "recovery_total"
+
 	// StencilTileSeconds: histogram of per-tile kernel execution time in
 	// the worker pool (no labels; the pool is process-wide).
 	StencilTileSeconds = "stencil_tile_seconds"

@@ -64,6 +64,14 @@ func (w *World) abort(rank int, v any) {
 // Aborted returns the abort cause, or nil while the world is healthy.
 func (w *World) Aborted() *AbortError { return w.abortVal.Load() }
 
+// Aborting reports whether the world has begun aborting. Teardown code
+// running during a panic unwind uses it to choose between a full release
+// and a leak-on-abort: an unwinding rank must not unmap memory that a
+// surviving peer's parked or in-flight transfer may still reference.
+// Every abort path stores the cause before any rank starts unwinding, so
+// a rank unwinding from an abort always observes true here.
+func (c *Comm) Aborting() bool { return c.world.Aborted() != nil }
+
 // Abort kills the whole world from one rank: every rank blocked in Wait,
 // Waitall, Barrier, or a reduction panics with the same *AbortError
 // (carrying this rank and v) instead of hanging, and World.Run re-raises

@@ -62,6 +62,18 @@ func (b *barrier) pendingWaiters() int {
 	return b.waiting
 }
 
+// reset re-arms an aborted barrier for a new epoch. Caller must guarantee
+// the world is quiescent (every rank parked). waiting is forced to zero —
+// waiters woken by abortAll return without decrementing it — and gen is
+// bumped so any stale waiter that somehow re-enters sees a fresh round.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.waiting = 0
+	b.gen++
+	b.down = false
+	b.mu.Unlock()
+}
+
 // Barrier blocks until every rank has entered it, or panics with the
 // world's *AbortError if the world aborts first.
 func (c *Comm) Barrier() {
@@ -173,6 +185,14 @@ func (r *reducer) pendingWaiters() int {
 	return r.arrived + r.left
 }
 
+// reset re-arms an aborted reducer for a new epoch (world quiescent).
+func (r *reducer) reset() {
+	r.mu.Lock()
+	r.arrived, r.left = 0, 0
+	r.down = false
+	r.mu.Unlock()
+}
+
 // Allreduce combines in across all ranks element-wise with op and returns
 // the combined vector on every rank. All ranks must pass the same length.
 // Panics with the world's *AbortError if the world aborts mid-reduction.
@@ -257,6 +277,17 @@ func (g *gatherBuf) pendingWaiters() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.arrived + g.left
+}
+
+// reset re-arms an aborted gather buffer for a new epoch (world quiescent).
+func (g *gatherBuf) reset() {
+	g.mu.Lock()
+	g.arrived, g.left = 0, 0
+	g.down = false
+	for i := range g.parts {
+		g.parts[i] = nil
+	}
+	g.mu.Unlock()
 }
 
 // Gather collects each rank's vector on rank 0, which receives a slice of

@@ -54,6 +54,8 @@ type World struct {
 	abortVal  atomic.Pointer[AbortError]
 	wdog      *watchdog
 	fault     *fault.Injector
+	verifyCRC bool           // receive-side payload CRC verify (see crc.go)
+	recov     *recoveryState // non-nil inside RunRecoverable (see recovery.go)
 }
 
 // SetTrace attaches an event recorder; every Isend/Irecv posting and Wait
@@ -230,8 +232,9 @@ type envelope struct {
 	src, tag int
 	data     []float64
 	done     chan struct{}
-	post     time.Time    // when Isend posted; zero unless m != nil
-	m        *commMetrics // sender's metrics, nil when disabled
+	post     time.Time        // when Isend posted; zero unless m != nil
+	m        *commMetrics     // sender's metrics, nil when disabled
+	flips    []fault.ByteFlip // injected in-flight corruption, nil normally
 }
 
 // posted is a receive awaiting a matching send.
@@ -267,17 +270,19 @@ func (c *Comm) Isend(dst, tag int, buf []float64) *Request {
 	if tag < 0 {
 		panic("mpi: send tag must be non-negative")
 	}
+	var flips []fault.ByteFlip
 	if f := c.world.fault; f != nil {
 		if d := f.SendDelay(c.rank); d > 0 {
 			time.Sleep(d)
 		}
+		flips = f.CorruptSend(c.rank, len(buf))
 	}
 	c.sentMsgs.Add(1)
 	c.sentBytes.Add(int64(8 * len(buf)))
 	if rec := c.world.rec; rec != nil {
 		rec.Begin(c.rank, trace.KindSend, fmt.Sprintf("send->%d tag=%d", dst, tag), dst, int64(8*len(buf)))()
 	}
-	env := &envelope{src: c.rank, tag: tag, data: buf, done: make(chan struct{})}
+	env := &envelope{src: c.rank, tag: tag, data: buf, done: make(chan struct{}), flips: flips}
 	if c.m != nil {
 		env.post, env.m = time.Now(), c.m
 		c.m.sendBytes.Observe(float64(8 * len(buf)))
@@ -288,7 +293,7 @@ func (c *Comm) Isend(dst, tag int, buf []float64) *Request {
 		if matches(p.src, p.tag, env.src, env.tag) {
 			box.recvs = append(box.recvs[:i], box.recvs[i+1:]...)
 			box.mu.Unlock()
-			deliver(env, p)
+			deliver(c.world, dst, env, p)
 			return &Request{done: env.done, comm: c, peer: dst, tag: tag}
 		}
 	}
@@ -317,7 +322,7 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 		if matches(src, tag, env.src, env.tag) {
 			box.sends = append(box.sends[:i], box.sends[i+1:]...)
 			box.mu.Unlock()
-			deliver(env, p)
+			deliver(c.world, c.rank, env, p)
 			return &Request{done: p.done, post: p, comm: c, peer: src, tag: tag}
 		}
 	}
@@ -328,17 +333,22 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 
 // deliver copies the payload and completes both sides. It runs on whichever
 // goroutine closed the match second, mirroring how real MPI progress engines
-// complete transfers on whichever process touches the channel last.
-func deliver(env *envelope, p *posted) {
+// complete transfers on whichever process touches the channel last. dst is
+// the receiving rank, for corruption attribution.
+func deliver(w *World, dst int, env *envelope, p *posted) {
 	overflow := len(env.data) > len(p.buf)
 	if overflow {
 		// Truncate like MPI_ERR_TRUNCATE, but complete both sides first so
 		// peer ranks unblock, then abort the job via panic (propagated by
 		// World.Run).
 		env = &envelope{src: env.src, tag: env.tag, data: env.data[:len(p.buf)], done: env.done,
-			post: env.post, m: env.m}
+			post: env.post, m: env.m, flips: env.flips}
 	}
 	copy(p.buf, env.data)
+	if env.flips != nil {
+		applyFlips(p.buf[:len(env.data)], env.flips)
+	}
+	corrupt := w.verifyCRC && crcFloats(env.data) != crcFloats(p.buf[:len(env.data)])
 	if env.m != nil {
 		env.m.sendSeconds.Observe(time.Since(env.post).Seconds())
 	}
@@ -351,6 +361,12 @@ func deliver(env *envelope, p *posted) {
 	close(env.done)
 	if overflow {
 		panic(fmt.Sprintf("mpi: message overflows receive buffer (src %d tag %d)", env.src, env.tag))
+	}
+	if corrupt {
+		// Complete both sides first so peers unblock, then kill the world:
+		// a CRC mismatch means the data is wrong everywhere downstream.
+		w.abort(dst, &CorruptionError{Src: env.src, Dst: dst, Tag: env.tag})
+		panic(w.Aborted())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/bricklab/brick/internal/fault"
 	"github.com/bricklab/brick/internal/trace"
 )
 
@@ -59,6 +60,7 @@ type pchan struct {
 	recvFreed  bool          // recv side called Free
 	sendLabel  string
 	recvLabel  string
+	flips      []fault.ByteFlip // injected corruption for the current cycle
 }
 
 func newPchan(key endpointKey) *pchan {
@@ -201,19 +203,31 @@ func (pc *pchan) checkSizesLocked() {
 // side. Called with pc.mu held. The token channels are cap 1 and provably
 // never full here: a side's previous token must have been consumed by its
 // Wait before its Start (enforced by the active-flag panic) could arm this
-// delivery.
-func (pc *pchan) deliverLocked() {
+// delivery. The returned error is non-nil only when receive-side CRC
+// verification is on and the (possibly corrupted) receive buffer differs
+// from the send buffer; the caller must release pc.mu before acting on it,
+// since aborting with the lock held would hang peers blocked on pc.mu.
+func (pc *pchan) deliverLocked() error {
 	if pc.sendBuf == nil || pc.recvBuf == nil {
 		panic(fmt.Sprintf("mpi: persistent channel (src %d dst %d tag %d) started before both endpoints initialized",
 			pc.key.src, pc.key.dst, pc.key.tag))
 	}
 	copy(pc.recvBuf, pc.sendBuf)
+	if pc.flips != nil {
+		applyFlips(pc.recvBuf[:len(pc.sendBuf)], pc.flips)
+		pc.flips = nil
+	}
+	var err error
+	if pc.sendComm.world.verifyCRC && crcFloats(pc.sendBuf) != crcFloats(pc.recvBuf[:len(pc.sendBuf)]) {
+		err = &CorruptionError{Src: pc.key.src, Dst: pc.key.dst, Tag: pc.key.tag}
+	}
 	if m := pc.sendComm.m; m != nil && !pc.sendStart.IsZero() {
 		m.sendSeconds.Observe(time.Since(pc.sendStart).Seconds())
 	}
 	pc.sendFired, pc.recvFired = false, false
 	pc.sendDone <- struct{}{}
 	pc.recvDone <- struct{}{}
+	return err
 }
 
 // Start activates a persistent request for one transfer. The request must
@@ -245,13 +259,21 @@ func (r *Request) Start() {
 			panic("mpi: persistent send started twice without Wait")
 		}
 		pc.sendActive, pc.sendFired = true, true
+		if f := c.world.fault; f != nil {
+			pc.flips = f.CorruptSend(c.rank, len(pc.sendBuf))
+		}
 		if c.m != nil {
 			pc.sendStart = time.Now()
 		}
+		var err error
 		if pc.recvFired {
-			pc.deliverLocked()
+			err = pc.deliverLocked()
 		}
 		pc.mu.Unlock()
+		if err != nil {
+			c.world.abort(c.rank, err)
+			panic(c.world.Aborted())
+		}
 		return
 	}
 	if rec := c.world.rec; rec != nil {
@@ -263,10 +285,15 @@ func (r *Request) Start() {
 		panic("mpi: persistent receive started twice without Wait")
 	}
 	pc.recvActive, pc.recvFired = true, true
+	var err error
 	if pc.sendFired {
-		pc.deliverLocked()
+		err = pc.deliverLocked()
 	}
 	pc.mu.Unlock()
+	if err != nil {
+		c.world.abort(c.rank, err)
+		panic(c.world.Aborted())
+	}
 }
 
 // Startall starts every request in the slice (MPI_Startall). Nil entries
@@ -375,9 +402,20 @@ func (r *Request) Rebind(buf []float64) {
 // the live list immediately. A matched endpoint stays live until the OTHER
 // side frees too (the peer still holds the shared channel), at which point
 // the channel leaves the live list; this is what keeps
-// World.PersistentPending honest for leak tests. Free must not be called
-// with a Start outstanding; calling Free twice on the same request is a
-// no-op.
+// World.PersistentPending honest for leak tests.
+//
+// Free retracts any Start of this side that has not yet been delivered and
+// drops the buffer reference. In a fault-free run that is a no-op (Wait
+// precedes teardown, and Wait only returns after delivery), but a rank
+// unwinding from an abort Frees endpoints whose cycle never completed —
+// and may munmap the backing arena (MemMap storage) immediately after.
+// Without the retraction a surviving peer that Starts next would observe
+// the stale fired flag and copy from/into the unmapped pages, a fatal
+// SIGSEGV no recover can catch. After the retraction the peer sees no
+// pending delivery, blocks in Wait, and leaves through the abort channel.
+// pc.mu serializes Free against a delivery already copying, so the unmap
+// cannot land mid-copy either. Calling Free twice on the same request is
+// a no-op.
 func (r *Request) Free() {
 	pc := r.pc
 	if pc == nil {
@@ -390,9 +428,13 @@ func (r *Request) Free() {
 	if r.psend {
 		pc.sendFreed = true
 		matched = pc.recvComm != nil
+		pc.sendFired = false
+		pc.sendBuf = nil
 	} else {
 		pc.recvFreed = true
 		matched = pc.sendComm != nil
+		pc.recvFired = false
+		pc.recvBuf = nil
 	}
 	gone := !matched || (pc.sendFreed && pc.recvFreed)
 	pc.mu.Unlock()

@@ -127,6 +127,9 @@ func (w *World) pendingOps() int {
 	n += w.bar.pendingWaiters()
 	n += w.red.pendingWaiters()
 	n += w.gather.pendingWaiters()
+	if rs := w.recov; rs != nil {
+		n += len(rs.parkedRanks())
+	}
 	return n
 }
 
@@ -144,6 +147,8 @@ type PendingOp struct {
 	//	                registered
 	//	psend-active    a started persistent send whose peer has not started
 	//	precv-active    a started persistent receive whose peer has not started
+	//	recovery-parked a rank parked at the RunRecoverable recovery barrier
+	//	                awaiting a respawn/give-up verdict (Src is the rank)
 	Kind       string `json:"kind"`
 	Src        int    `json:"src"`
 	Dst        int    `json:"dst"`
@@ -161,10 +166,12 @@ type StallReport struct {
 	// report was taken manually via World.StallReport).
 	Size     int           `json:"size"`
 	Watchdog time.Duration `json:"watchdog"`
-	// Barrier/Reduce/Gather count ranks parked in each collective.
-	Barrier int `json:"barrier"`
-	Reduce  int `json:"reduce"`
-	Gather  int `json:"gather"`
+	// Barrier/Reduce/Gather count ranks parked in each collective;
+	// Recovery counts ranks parked at the recovery barrier.
+	Barrier  int `json:"barrier"`
+	Reduce   int `json:"reduce"`
+	Gather   int `json:"gather"`
+	Recovery int `json:"recovery"`
 	// Pending lists every stalled operation, sorted by (kind, src, dst, tag).
 	Pending []PendingOp `json:"pending"`
 }
@@ -235,6 +242,15 @@ func (w *World) StallReport() *StallReport {
 	rep.Barrier = w.bar.pendingWaiters()
 	rep.Reduce = w.red.pendingWaiters()
 	rep.Gather = w.gather.pendingWaiters()
+	if rs := w.recov; rs != nil {
+		parked := rs.parkedRanks()
+		rep.Recovery = len(parked)
+		for _, r := range parked {
+			rep.Pending = append(rep.Pending, PendingOp{
+				Kind: "recovery-parked", Src: r, Dst: -1, Tag: -1,
+			})
+		}
+	}
 	sort.Slice(rep.Pending, func(i, j int) bool {
 		a, b := rep.Pending[i], rep.Pending[j]
 		if a.Kind != b.Kind {
@@ -268,7 +284,8 @@ func (r *StallReport) String() string {
 	if r.Watchdog > 0 {
 		fmt.Fprintf(&b, " (no progress for %v)", r.Watchdog)
 	}
-	fmt.Fprintf(&b, "\n  collectives: barrier=%d reduce=%d gather=%d\n", r.Barrier, r.Reduce, r.Gather)
+	fmt.Fprintf(&b, "\n  collectives: barrier=%d reduce=%d gather=%d recovery=%d\n",
+		r.Barrier, r.Reduce, r.Gather, r.Recovery)
 	for _, op := range r.Pending {
 		fmt.Fprintf(&b, "  %-14s src=%s dst=%s tag=%s bytes=%d", op.Kind,
 			wildcard(op.Src), wildcard(op.Dst), wildcard(op.Tag), op.Bytes)

@@ -144,16 +144,18 @@ func runWorldExpectAbort(t *testing.T, w *World, deadline time.Duration, body fu
 
 // TestStallReportGoldenFormat freezes StallReport.String: operational
 // tooling greps these lines, so layout changes must be deliberate
-// (go test -run Golden -update ./internal/mpi/ regenerates the file).
+// (go test ./internal/mpi/ -run Golden -update regenerates the file).
 func TestStallReportGoldenFormat(t *testing.T) {
 	rep := &StallReport{
 		Size:     8,
 		Watchdog: 250 * time.Millisecond,
 		Barrier:  2,
 		Gather:   1,
+		Recovery: 1,
 		Pending: []PendingOp{
 			{Kind: "precv-unpaired", Src: 0, Dst: 1, Tag: 8, Bytes: 32, Persistent: true},
 			{Kind: "psend-active", Src: 4, Dst: 5, Tag: 2, Bytes: 4096, Persistent: true},
+			{Kind: "recovery-parked", Src: 6, Dst: -1, Tag: -1},
 			{Kind: "recv-posted", Src: -1, Dst: 2, Tag: -1, Bytes: 64},
 			{Kind: "send-unmatched", Src: 3, Dst: 2, Tag: 11, Bytes: 16},
 		},
@@ -177,7 +179,7 @@ func TestStallReportGoldenFormat(t *testing.T) {
 	}
 	// The error-message form is what log scrapers see after an abort.
 	ae := &AbortError{Rank: WatchdogRank, Value: rep}
-	if !strings.HasPrefix(ae.Error(), "mpi: watchdog abort: stall: 4 pending ops") {
+	if !strings.HasPrefix(ae.Error(), "mpi: watchdog abort: stall: 5 pending ops") {
 		t.Errorf("AbortError message %q", ae.Error())
 	}
 }

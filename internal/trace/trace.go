@@ -26,6 +26,11 @@ const (
 	KindPack    Kind = "pack"
 	KindCompute Kind = "compute"
 	KindPhase   Kind = "phase"
+	// KindCkpt marks a quiesce-and-snapshot interval; KindRecovery marks a
+	// rewind/respawn interval after an abort. Both land on the critical
+	// path in cmd/obsreport when they dominate a step.
+	KindCkpt     Kind = "ckpt"
+	KindRecovery Kind = "recovery"
 )
 
 // Event is one timed interval on a rank's timeline.
