@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race soak soak-recover bench bench-allocs bench-json bench-check
+.PHONY: all build vet fmt lint test race cover soak soak-recover bench bench-allocs bench-json bench-check
 
 all: build vet fmt test
 
@@ -20,9 +20,38 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# lint runs the pinned static analyzers. CI calls this exact target, so a
+# local `make lint` reproduces the CI lint job bit for bit; bump the pins
+# here and CI follows. (`go run pkg@version` resolves through the module
+# proxy, so first use needs network.)
+STATICCHECK_VERSION  ?= 2025.1.1
+GOLANGCI_VERSION     ?= v1.64.8
+
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run github.com/golangci/golangci-lint/cmd/golangci-lint@$(GOLANGCI_VERSION) run
+
 # -shuffle=on randomizes test order to keep tests order-independent.
 test:
 	$(GO) test -shuffle=on ./...
+
+# cover merges a single coverage profile across every package (each test
+# binary instruments the whole module via -coverpkg) and enforces the soft
+# floor committed in COVERAGE_FLOOR: total statement coverage must not drop
+# below it. Regenerate the floor deliberately when coverage rises.
+COVER_PROFILE ?= cover.out
+COVER_FLOOR_FILE ?= COVERAGE_FLOOR
+
+cover:
+	$(GO) test -count=1 -coverprofile=$(COVER_PROFILE) -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	floor=$$(cat $(COVER_FLOOR_FILE)); \
+	echo "total coverage: $$total% (floor: $$floor%)"; \
+	ok=$$(awk -v t="$$total" -v f="$$floor" 'BEGIN { print (t >= f) ? 1 : 0 }'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "cover: total coverage $$total% fell below the committed floor $$floor%"; \
+		exit 1; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -52,10 +81,10 @@ bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
 
 # bench-allocs fails if the persistent per-step hot path regresses above
-# zero heap allocations (Layout + MemMap Start/Complete, and the raw
-# persistent-request Start/Wait cycle).
+# zero heap allocations (Layout + MemMap Start/Complete — partitioned and
+# not — and the raw persistent-request Start/Wait cycle).
 bench-allocs:
-	$(GO) test -count=1 -run 'TestPersistentHotPathAllocs' ./internal/core/
+	$(GO) test -count=1 -run 'TestPersistentHotPathAllocs|TestPartitionedHotPathAllocs' ./internal/core/
 	$(GO) test -count=1 -run 'TestPersistentZeroAllocSteps' ./internal/mpi/
 
 # Reference configurations for the machine-readable bench baselines
@@ -75,8 +104,12 @@ bench-json:
 # bench-check runs the same configurations into a temp dir and gates them
 # against the committed baselines with obsreport: the message plan must be
 # identical and GStencil/s must not drop by more than BENCH_MAX_DROP.
-# Skips gracefully (per baseline) when no committed baseline exists.
+# A missing committed baseline is an error — a renamed or never-committed
+# baseline would otherwise silently skip the regression gate. Set
+# BENCH_ALLOW_MISSING=1 to downgrade that to a warning (e.g. when adding a
+# new implementation whose baseline lands in the same change).
 BENCH_MAX_DROP ?= 0.10
+BENCH_ALLOW_MISSING ?= 0
 
 bench-check:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
@@ -87,7 +120,13 @@ bench-check:
 	for new in $$tmp/BENCH_*.json; do \
 		base=$(BENCH_DIR)/$$(basename $$new); \
 		if [ ! -f "$$base" ]; then \
-			echo "bench-check: skip $$(basename $$new) (no committed baseline)"; \
+			if [ "$(BENCH_ALLOW_MISSING)" = "1" ]; then \
+				echo "bench-check: skip $$(basename $$new) (no committed baseline; BENCH_ALLOW_MISSING=1)"; \
+				continue; \
+			fi; \
+			echo "bench-check: FAIL: no committed baseline $$base for $$(basename $$new)"; \
+			echo "bench-check: regenerate with 'make bench-json' and commit it, or set BENCH_ALLOW_MISSING=1"; \
+			status=1; \
 			continue; \
 		fi; \
 		$(GO) run ./cmd/obsreport -bench-base $$base -bench-new $$new -max-drop $(BENCH_MAX_DROP) || status=1; \

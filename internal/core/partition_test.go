@@ -1,0 +1,220 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/bricklab/brick/internal/mpi"
+)
+
+// span builds a padding-free Span for compiler tests.
+func span(start, n int) Span { return Span{Start: start, NBricks: n, Padded: n} }
+
+// TestCompileWindowPartsBoundaries checks partitions split exactly at tile-
+// ownership changes and the bounds cover the window.
+func TestCompileWindowPartsBoundaries(t *testing.T) {
+	// Bricks 0..5 in one run; tiles [0,2) [2,4) [4,6); chunk 8 elements.
+	tileOf := tileOwnerTable([][2]int{{0, 2}, {2, 4}, {4, 6}}, 6)
+	mp := compileWindowParts([]Span{span(0, 6)}, 8, tileOf)
+	if want := []int{0, 16, 32, 48}; !reflect.DeepEqual(mp.bounds, want) {
+		t.Errorf("bounds = %v, want %v", mp.bounds, want)
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(mp.owners, want) {
+		t.Errorf("owners = %v, want %v", mp.owners, want)
+	}
+	for i, segs := range mp.segs {
+		want := []copySeg{{stor: 16 * i, win: 16 * i, n: 16}}
+		if !reflect.DeepEqual(segs, want) {
+			t.Errorf("segs[%d] = %v, want %v", i, segs, want)
+		}
+	}
+}
+
+// TestCompileWindowPartsUnownedMerge checks padding bricks merge into the
+// open partition and leading unowned bricks adopt the first real owner.
+func TestCompileWindowPartsUnownedMerge(t *testing.T) {
+	// Bricks 0..5: only 2,3 owned (tile 0) and 4,5 owned (tile 1); 0,1
+	// unowned padding ahead of the first real owner.
+	tileOf := tileOwnerTable([][2]int{{2, 4}, {4, 6}}, 6)
+	mp := compileWindowParts([]Span{span(0, 6)}, 4, tileOf)
+	if want := []int{0, 16, 24}; !reflect.DeepEqual(mp.bounds, want) {
+		t.Errorf("bounds = %v, want %v", mp.bounds, want)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(mp.owners, want) {
+		t.Errorf("owners = %v, want %v", mp.owners, want)
+	}
+
+	// Trailing padding (span Padded > NBricks) stays inside the last
+	// partition rather than opening an owner-less one.
+	pad := Span{Start: 0, NBricks: 2, Padded: 4}
+	tileOf = tileOwnerTable([][2]int{{0, 2}}, 2)
+	mp = compileWindowParts([]Span{pad}, 4, tileOf)
+	if want := []int{0, 16}; !reflect.DeepEqual(mp.bounds, want) {
+		t.Errorf("padded bounds = %v, want %v", mp.bounds, want)
+	}
+	if want := []int{0}; !reflect.DeepEqual(mp.owners, want) {
+		t.Errorf("padded owners = %v, want %v", mp.owners, want)
+	}
+}
+
+// TestCompileWindowPartsOwnerless checks a window with no owned bricks
+// compiles to a single immediate (-1 owner) partition, and an empty run
+// list compiles to nothing.
+func TestCompileWindowPartsOwnerless(t *testing.T) {
+	tileOf := tileOwnerTable(nil, 4)
+	mp := compileWindowParts([]Span{span(0, 4)}, 2, tileOf)
+	if want := []int{0, 8}; !reflect.DeepEqual(mp.bounds, want) {
+		t.Errorf("bounds = %v, want %v", mp.bounds, want)
+	}
+	if want := []int{-1}; !reflect.DeepEqual(mp.owners, want) {
+		t.Errorf("owners = %v, want %v", mp.owners, want)
+	}
+	empty := compileWindowParts(nil, 2, tileOf)
+	if empty.bounds != nil || empty.owners != nil {
+		t.Errorf("empty window compiled to %+v", empty)
+	}
+}
+
+// TestCompileWindowPartsMultiRun checks storage→window segs across several
+// discontiguous runs: a partition spanning a run boundary gets one seg per
+// run, with storage offsets following the runs and window offsets the
+// concatenation.
+func TestCompileWindowPartsMultiRun(t *testing.T) {
+	// Window = bricks {10,11} ++ {20,21}, chunk 4; one tile owns them all.
+	tileOf := tileOwnerTable([][2]int{{10, 22}}, 22)
+	runs := []Span{span(10, 2), span(20, 2)}
+	mp := compileWindowParts(runs, 4, tileOf)
+	if want := []int{0, 16}; !reflect.DeepEqual(mp.bounds, want) {
+		t.Errorf("bounds = %v, want %v", mp.bounds, want)
+	}
+	want := []copySeg{
+		{stor: 40, win: 0, n: 8},
+		{stor: 80, win: 8, n: 8},
+	}
+	if !reflect.DeepEqual(mp.segs[0], want) {
+		t.Errorf("segs = %v, want %v", mp.segs[0], want)
+	}
+
+	// Ownership split across the run boundary: partition 0 = run 0 (tile
+	// 0), partition 1 = run 1 (tile 1) — one seg each.
+	tileOf = tileOwnerTable([][2]int{{10, 12}, {20, 22}}, 22)
+	mp = compileWindowParts(runs, 4, tileOf)
+	if wantB := []int{0, 8, 16}; !reflect.DeepEqual(mp.bounds, wantB) {
+		t.Errorf("split bounds = %v, want %v", mp.bounds, wantB)
+	}
+	if !reflect.DeepEqual(mp.segs[0], []copySeg{{stor: 40, win: 0, n: 8}}) {
+		t.Errorf("split segs[0] = %v", mp.segs[0])
+	}
+	if !reflect.DeepEqual(mp.segs[1], []copySeg{{stor: 80, win: 8, n: 8}}) {
+		t.Errorf("split segs[1] = %v", mp.segs[1])
+	}
+}
+
+// partitionTiles splits the surface spans into fixed-grain tiles (the test
+// cannot import stencil.TileSpans — stencil depends on core — but any
+// span-respecting tiling exercises the same compile and fire paths).
+func partitionTiles(d *BrickDecomp, grain int) [][2]int {
+	var tiles [][2]int
+	for _, s := range d.Order() {
+		sp := d.Surface(s)
+		for lo := sp.Start; lo < sp.End(); lo += grain {
+			hi := lo + grain
+			if hi > sp.End() {
+				hi = sp.End()
+			}
+			tiles = append(tiles, [2]int{lo, hi})
+		}
+	}
+	return tiles
+}
+
+// TestPartitionedHotPathAllocsLayout asserts the partitioned per-step hot
+// path — StartRecvs + Complete + StartSends + ReadyAll over a compiled
+// partitioned plan — performs zero heap allocations, including every
+// Pready along the way.
+func TestPartitionedHotPathAllocsLayout(t *testing.T) {
+	withSingleRank(t, false, func(cart *mpi.Cart, d *BrickDecomp, bs *BrickStorage) {
+		tiles := partitionTiles(d, 4)
+		lx := NewLayoutExchange(NewExchanger(d, cart), bs, WithPartitions(tiles))
+		defer lx.Close()
+		if lx.Partitions() == 0 {
+			t.Fatal("no partitions compiled")
+		}
+		// Prologue arms the first exchange; warm one full cycle.
+		lx.StartSends()
+		lx.ReadyAll()
+		lx.StartRecvs()
+		lx.Complete()
+		allocs := testing.AllocsPerRun(50, func() {
+			lx.StartSends()
+			lx.ReadyAll()
+			lx.StartRecvs()
+			lx.Complete()
+		})
+		if allocs != 0 {
+			t.Errorf("Layout partitioned step allocates %v times, want 0", allocs)
+		}
+	})
+}
+
+// TestPartitionedHotPathAllocsMemMap asserts the partitioned view-based
+// step (which refreshes copy-window segments inside fire) is also
+// allocation-free.
+func TestPartitionedHotPathAllocsMemMap(t *testing.T) {
+	withSingleRank(t, true, func(cart *mpi.Cart, d *BrickDecomp, bs *BrickStorage) {
+		tiles := partitionTiles(d, 4)
+		ev, err := NewExchangeView(NewExchanger(d, cart), bs, WithPartitions(tiles))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ev.Close()
+		if ev.Partitions() == 0 {
+			t.Fatal("no partitions compiled")
+		}
+		ev.StartSends()
+		ev.ReadyAll()
+		ev.StartRecvs()
+		ev.Complete()
+		allocs := testing.AllocsPerRun(50, func() {
+			ev.StartSends()
+			ev.ReadyAll()
+			ev.StartRecvs()
+			ev.Complete()
+		})
+		if allocs != 0 {
+			t.Errorf("MemMap partitioned step allocates %v times, want 0", allocs)
+		}
+	})
+}
+
+// TestPartitionedDigestSection checks the plan digest gains exactly the
+// partition section: two plans differing only in WithPartitions share all
+// message lines, so their digests differ, while the same tiling reproduces
+// the same digest.
+func TestPartitionedDigestSection(t *testing.T) {
+	withSingleRank(t, false, func(cart *mpi.Cart, d *BrickDecomp, bs *BrickStorage) {
+		ex := NewExchanger(d, cart)
+		tiles := partitionTiles(d, 4)
+		plain := NewLayoutExchange(ex, bs)
+		base := plain.Plan().Digest()
+		if err := plain.Close(); err != nil {
+			t.Fatal(err)
+		}
+		p1 := NewLayoutExchange(ex, bs, WithPartitions(tiles))
+		d1 := p1.Plan().Digest()
+		if n := len(p1.Plan().Partitions); n != len(p1.Plan().Sends) {
+			t.Errorf("recorded %d partition counts for %d sends", n, len(p1.Plan().Sends))
+		}
+		if err := p1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if d1 == base {
+			t.Error("partitioned digest identical to unpartitioned")
+		}
+		p2 := NewLayoutExchange(ex, bs, WithPartitions(tiles))
+		defer p2.Close()
+		if d2 := p2.Plan().Digest(); d2 != d1 {
+			t.Errorf("same tiling, different digest: %s vs %s", d2, d1)
+		}
+	})
+}

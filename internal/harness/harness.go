@@ -135,6 +135,17 @@ type Config struct {
 	// (the -persistent=false escape hatch). The zero value — persistent
 	// plans on — is the default for every CPU implementation.
 	DisablePersistent bool
+	// Partitioned compiles each persistent send as an MPI 4.x-style
+	// partitioned request whose partitions align with the worker pool's
+	// surface tiles: the pipelined step arms the next exchange's sends
+	// before the surface pass and each completed tile fires Pready for the
+	// spans it produced, so the wire leg starts while sibling tiles still
+	// compute. Results are Float64bits-identical to the unpartitioned
+	// exchange. Applies to the overlapped brick implementations (Basic,
+	// Layout, MemMap with a per-step exchange); other implementations
+	// ignore it. Requires persistent plans (rejected when
+	// DisablePersistent is also set). Default off.
+	Partitioned bool
 	// Fault is a fault-injection spec (see fault.Parse: delay, stall, panic,
 	// mapfail, allocfail clauses), seeded by FaultSeed. Empty (the default)
 	// disables injection entirely; the hooks then cost one nil check.
@@ -276,6 +287,9 @@ func (c Config) Validate() error {
 	if c.Ghost%c.Stencil.Radius != 0 && c.ExpandGhost {
 		return fmt.Errorf("harness: ghost %d not a multiple of radius %d", c.Ghost, c.Stencil.Radius)
 	}
+	if c.Partitioned && c.DisablePersistent {
+		return fmt.Errorf("harness: -partitioned requires persistent plans (drop -persistent=false)")
+	}
 	return nil
 }
 
@@ -349,6 +363,8 @@ func describeMetrics(reg *metrics.Registry) {
 	reg.Describe(metrics.PlanStartsTotal, "Times a compiled exchange plan was started.")
 	reg.Describe(metrics.PlanStartBytesTotal, "Payload bytes posted by plan starts.")
 	reg.Describe(metrics.ExchangeDegradedTotal, "Exchangers that fell back to copy-based windows (labels: impl, rank, reason).")
+	reg.Describe(metrics.ExchangePartitionsReadyTotal, "Send partitions marked ready (Pready fired by a completed surface tile).")
+	reg.Describe(metrics.PartitionReadyLagSeconds, "Delay from arming a partitioned send to each partition's Pready.")
 	reg.Describe(metrics.CkptBytesTotal, "Checkpoint snapshot payload bytes deposited (labels: impl, rank).")
 	reg.Describe(metrics.CkptEpochsTotal, "Committed world-wide checkpoint epochs (labels: impl).")
 	reg.Describe(metrics.RecoveryTotal, "Recovery verdicts (labels: rank, outcome=recovered|budget-exhausted).")

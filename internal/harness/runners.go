@@ -9,6 +9,7 @@ import (
 	"github.com/bricklab/brick/internal/gpu"
 	"github.com/bricklab/brick/internal/grid"
 	"github.com/bricklab/brick/internal/layout"
+	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/mpi"
 	"github.com/bricklab/brick/internal/netmodel"
 	"github.com/bricklab/brick/internal/stencil"
@@ -71,27 +72,63 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	}
 	info := dec.BrickInfo()
 	bx := core.NewExchanger(dec, cart)
-	popt := core.WithPersistentPlan(!cfg.DisablePersistent)
+	wk := cfg.Workers
+	// Surface spans of the decomposition, computed after the exchange
+	// completes; the interior span is computed while it is in flight.
+	var surfSpans [][2]int
+	for _, reg := range dec.Order() {
+		if sp := dec.Surface(reg); sp.NBricks > 0 {
+			surfSpans = append(surfSpans, [2]int{sp.Start, sp.End()})
+		}
+	}
+	// Partitioned sends pipeline the surface pass into the wire: applicable
+	// whenever the step overlaps a per-step exchange (every brick impl but
+	// Shift, whose slab phases are serialized). The tile list fixed here is
+	// both the partition alignment of the compiled plan and the surface
+	// pass's execution tiling.
+	usePart := cfg.Partitioned && !cfg.DisablePersistent &&
+		cfg.exchangePeriod() == 1 && cfg.Impl != Shift
+	var tiles [][2]int
+	popts := []core.PlanOption{core.WithPersistentPlan(!cfg.DisablePersistent)}
+	if usePart {
+		tiles = stencil.TileSpans(surfSpans, wk)
+		if len(tiles) > 0 {
+			popts = append(popts, core.WithPartitions(tiles))
+		} else {
+			usePart = false // no surface to exchange (single-rank world)
+		}
+	}
 	var ex core.Exchanger
 	// degradable is set for MemMap, the one implementation whose mapped
 	// views can be rebuilt as copy windows mid-run (mapfail:step=S faults).
 	var degradable *core.ExchangeView
 	switch cfg.Impl {
 	case MemMap:
-		ev, err := core.NewExchangeView(bx, bs, popt)
+		ev, err := core.NewExchangeView(bx, bs, popts...)
 		if err != nil {
 			return res, err
 		}
 		ex = ev
 		degradable = ev
 	case Shift:
-		sv, err := core.NewShiftView(bx, bs, popt)
+		sv, err := core.NewShiftView(bx, bs, popts...)
 		if err != nil {
 			return res, err
 		}
 		ex = sv
 	default:
-		ex = core.NewLayoutExchange(bx, bs, popt)
+		ex = core.NewLayoutExchange(bx, bs, popts...)
+	}
+	var part core.PartitionedExchanger
+	if usePart {
+		part, _ = ex.(core.PartitionedExchanger)
+		if part == nil {
+			usePart = false
+		} else if cfg.Metrics != nil {
+			if pm, ok := ex.(interface{ SetPartitionMetrics(*metrics.Registry) }); ok {
+				pm.SetPartitionMetrics(cfg.Metrics)
+			}
+		}
 	}
 	// Same leak-on-abort rule: closing the exchanger unmaps its aliasing
 	// views and frees its endpoints; during an abort the safe move is to
@@ -188,7 +225,6 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 		}
 	}
 	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
-	wk := cfg.Workers
 	// Overlap communication with interior computation for every brick
 	// implementation except Shift (its three slab phases are serialized by
 	// corner forwarding), whenever ghosts are refreshed every step. Ghost
@@ -196,32 +232,67 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	// region the exchange writes — so they keep the exchange-then-compute
 	// order.
 	overlap := period == 1 && cfg.Impl != Shift
-	// Surface spans of the decomposition, computed after the exchange
-	// completes; the interior span is computed while it is in flight.
-	var surfSpans [][2]int
-	for _, reg := range dec.Order() {
-		if sp := dec.Surface(reg); sp.NBricks > 0 {
-			surfSpans = append(surfSpans, [2]int{sp.Start, sp.End()})
-		}
+	var readyFn func(int) // hoisted so the step closure never allocates it
+	if usePart {
+		readyFn = part.ReadyTile
+		// Prologue: arm the first exchange's sends with the current field
+		// contents — the initial values, or the restored snapshot — fully
+		// ready. From here every step's surface pass re-arms the next
+		// exchange tile by tile.
+		part.StartSends()
+		part.ReadyAll()
 	}
 	// abs is the absolute step index (warmup included): the fault-hook and
 	// checkpoint clock. s is the phase-local index driving the exchange
 	// cadence.
 	step := func(abs, s int, timed bool) {
 		cfg.inj.StepPanic(rank, abs)
-		if degradable != nil && cfg.inj.DegradeAtStep(rank, abs) {
-			// Between steps no exchange is in flight, so the mapped views
-			// can be swapped for copy windows here.
-			if derr := degradable.Degrade(core.DegradeForced); derr != nil {
-				comm.Abort(derr)
+		if !usePart {
+			if degradable != nil && cfg.inj.DegradeAtStep(rank, abs) {
+				// Between steps no exchange is in flight, so the mapped views
+				// can be swapped for copy windows here.
+				if derr := degradable.Degrade(core.DegradeForced); derr != nil {
+					comm.Abort(derr)
+				}
 			}
+			comm.Barrier()
 		}
-		comm.Barrier()
 		var calc time.Duration
 		src := core.NewBrick(info, bs, cur)
 		dst := core.NewBrick(info, bs, 1-cur)
 		exchange := s%period == 0
-		if overlap {
+		if usePart {
+			// Pipelined partitioned schedule. No per-step barrier: the
+			// persistent channels' cycle tokens bound rank skew to one
+			// exchange, and a barrier would flatten exactly the pipeline
+			// this mode exists to build. The sends for this step's exchange
+			// were armed (and progressively released) by the previous
+			// step's surface pass — only the receives are started here.
+			part.StartRecvs()
+			t0 := time.Now()
+			inter := dec.Interior()
+			stencil.ApplyBricksRangeWorkers(dst, src, dec, cfg.Stencil, 0, inter.Start, inter.End(), wk)
+			calc = time.Since(t0)
+			ex.Complete()
+			// Pipeline-safe point: every transfer of this step is fully
+			// delivered and nothing is armed, so the mapped views can be
+			// degraded to copy windows (Rebind on an armed partitioned
+			// request would panic).
+			if degradable != nil && cfg.inj.DegradeAtStep(rank, abs) {
+				if derr := degradable.Degrade(core.DegradeForced); derr != nil {
+					comm.Abort(derr)
+				}
+			}
+			onTile := readyFn
+			if abs == cfg.Warmup+cfg.Steps-1 {
+				onTile = nil // last step: there is no next exchange to feed
+			} else {
+				part.StartSends()
+			}
+			t0 = time.Now()
+			stencil.ApplyBricksTiles(dst, src, dec, cfg.Stencil, 0, tiles, wk, onTile)
+			calc += time.Since(t0)
+		} else if overlap {
 			// Start the exchange, compute interior bricks while it is in
 			// flight, complete, then compute the surface bricks. In flight
 			// the exchange reads only surface bricks and writes only ghost

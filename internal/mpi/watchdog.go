@@ -146,6 +146,9 @@ type PendingOp struct {
 	//	precv-unpaired  a persistent receive endpoint whose SendInit never
 	//	                registered
 	//	psend-active    a started persistent send whose peer has not started
+	//	psend-partial   a started partitioned send with partitions not yet
+	//	                marked ready (Unready names them) — the producing
+	//	                tiles never fired Pready
 	//	precv-active    a started persistent receive whose peer has not started
 	//	recovery-parked a rank parked at the RunRecoverable recovery barrier
 	//	                awaiting a respawn/give-up verdict (Src is the rank)
@@ -155,6 +158,12 @@ type PendingOp struct {
 	Tag        int    `json:"tag"`
 	Bytes      int64  `json:"bytes"`
 	Persistent bool   `json:"persistent"`
+	// Partitions/Ready/Unready describe a partitioned persistent send:
+	// total partition count, how many are ready, and the indices still
+	// unready (psend-partial only).
+	Partitions int   `json:"partitions,omitempty"`
+	Ready      int   `json:"ready,omitempty"`
+	Unready    []int `json:"unready,omitempty"`
 }
 
 // StallReport is the structured dump the watchdog produces on a stall:
@@ -225,10 +234,24 @@ func (w *World) StallReport() *StallReport {
 		}
 		pc.mu.Lock()
 		if pc.sendFired {
-			rep.Pending = append(rep.Pending, PendingOp{
+			op := PendingOp{
 				Kind: "psend-active", Src: pc.key.src, Dst: pc.key.dst, Tag: pc.key.tag,
 				Bytes: int64(8 * len(pc.sendBuf)), Persistent: true,
-			})
+			}
+			if pc.bounds != nil {
+				op.Partitions, op.Ready = len(pc.ready), pc.nready
+				if pc.nready < len(pc.ready) {
+					// A parked partition: the send is active but some
+					// producing tiles never declared their spans ready.
+					op.Kind = "psend-partial"
+					for i, rdy := range pc.ready {
+						if !rdy {
+							op.Unready = append(op.Unready, i)
+						}
+					}
+				}
+			}
+			rep.Pending = append(rep.Pending, op)
 		}
 		if pc.recvFired {
 			rep.Pending = append(rep.Pending, PendingOp{
@@ -291,6 +314,9 @@ func (r *StallReport) String() string {
 			wildcard(op.Src), wildcard(op.Dst), wildcard(op.Tag), op.Bytes)
 		if op.Persistent {
 			b.WriteString(" persistent")
+		}
+		if op.Kind == "psend-partial" {
+			fmt.Fprintf(&b, " parts=%d/%d unready=%v", op.Ready, op.Partitions, op.Unready)
 		}
 		b.WriteByte('\n')
 	}

@@ -57,6 +57,26 @@ func ApplyBricksSpans(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, ma
 	})
 }
 
+// ApplyBricksTiles applies the stencil over a precomputed tile list (each
+// tile a [lo, hi) storage-index range, as produced by TileSpans), invoking
+// onTile(t) from the executing worker the moment tile t's bricks are done.
+// The partitioned exchange uses this to fire Pready for exactly the spans a
+// finished tile produced while sibling tiles are still computing. onTile
+// may be nil, in which case this degenerates to a fixed-tiling surface
+// pass. Bit-identity: bricks are independent, so any tiling of the same
+// index set produces Float64bits-identical results.
+func ApplyBricksTiles(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin int, tiles [][2]int, workers int, onTile func(tile int)) {
+	checkBrickApply(dec, st, margin)
+	for _, tl := range tiles {
+		if tl[0] < 0 || tl[1] > dec.NumBricks() || tl[0] > tl[1] {
+			panic("stencil: brick tile out of bounds")
+		}
+	}
+	DefaultPool().ForTiles(workers, tiles, func(lo, hi int) {
+		applyBrickRange(dst, src, dec, st, margin, lo, hi)
+	}, onTile)
+}
+
 // applyBrickRange applies the stencil to bricks with storage indices in
 // [loIdx, hiIdx), using the same box/fast-path dispatch as ApplyBricks.
 func applyBrickRange(dst, src core.Brick, dec *core.BrickDecomp, st Stencil, margin, loIdx, hiIdx int) {
