@@ -60,10 +60,14 @@ race:
 # implementation on 8 ranks, once clean and once under benign faults
 # (per-send delays with jitter, a one-shot stall, forced MemMap
 # degradation) with the watchdog armed, asserting bit-identical checksums.
-# See docs/robustness.md.
+# The flight recorder stays on throughout; if the soak wedges or aborts, the
+# brick-flight/v1 artifact at SOAK_FLIGHT is the forensic record (CI uploads
+# it on failure; inspect with flightreport). See docs/robustness.md.
 SOAK_FAULT ?= delay:rank=*:mean=200us:jitter=0.5,stall:rank=3:nth=40:dur=5ms,mapfail:rank=1
+SOAK_FLIGHT ?= /tmp/brick-soak-flight.bin
 soak:
-	$(GO) run -race ./cmd/soak -fault '$(SOAK_FAULT)'
+	$(GO) run -race ./cmd/soak -fault '$(SOAK_FAULT)' \
+		-flight -flight-out $(SOAK_FLIGHT)
 
 # soak-recover is the crash-and-recover soak: fatal faults (an injected
 # rank panic, silent payload corruption caught by -verify-crc, a MemMap
@@ -72,9 +76,11 @@ soak:
 # checkpoint epochs spill to SOAK_CKPT_DIR for postmortem on failure.
 SOAK_RECOVER_FAULT ?= panic:rank=3:step=5,corrupt:rank=2:nth=40:flips=2,mapfail:rank=1
 SOAK_CKPT_DIR ?= /tmp/brick-soak-ckpt
+SOAK_RECOVER_FLIGHT ?= /tmp/brick-soak-recover-flight.bin
 soak-recover:
 	$(GO) run -race ./cmd/soak -ckpt -ckpt-every 2 -verify-crc \
-		-ckpt-dir $(SOAK_CKPT_DIR) -fault '$(SOAK_RECOVER_FAULT)'
+		-ckpt-dir $(SOAK_CKPT_DIR) -fault '$(SOAK_RECOVER_FAULT)' \
+		-flight -flight-out $(SOAK_RECOVER_FLIGHT)
 
 # One iteration of every benchmark as a smoke test (no unit tests: -run '^$').
 bench:
@@ -82,10 +88,12 @@ bench:
 
 # bench-allocs fails if the persistent per-step hot path regresses above
 # zero heap allocations (Layout + MemMap Start/Complete — partitioned and
-# not — and the raw persistent-request Start/Wait cycle).
+# not — and the raw persistent-request Start/Wait cycle), or if the flight
+# recorder's record path (enabled or disabled) starts allocating.
 bench-allocs:
 	$(GO) test -count=1 -run 'TestPersistentHotPathAllocs|TestPartitionedHotPathAllocs' ./internal/core/
 	$(GO) test -count=1 -run 'TestPersistentZeroAllocSteps' ./internal/mpi/
+	$(GO) test -count=1 -run 'TestRecordAllocs' ./internal/flight/
 
 # Reference configurations for the machine-readable bench baselines
 # (BENCH_<impl>_<dim>.json, schema brick-bench/v1; see docs/observability.md).

@@ -394,6 +394,39 @@ func BenchmarkAblation_MetricsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkAblation_FlightOverhead measures the flight recorder's cost on
+// the partitioned Layout configuration — the event-densest path (send posts,
+// deliveries, per-partition Pready/Parrived, per-tile start/done). disabled
+// (Config.Flight off — every hook is one nil check) vs enabled must stay
+// within noise on GStencil/s; enabled additionally reports the event volume.
+func BenchmarkAblation_FlightOverhead(b *testing.B) {
+	base := func() harness.Config {
+		cfg := benchConfig(harness.Layout, 64, stencil.Star7(), netmodel.ThetaKNL())
+		cfg.ExpandGhost = false
+		cfg.Partitioned = true
+		return cfg
+	}
+	b.Run("disabled", func(b *testing.B) {
+		runHarness(b, base())
+	})
+	b.Run("enabled", func(b *testing.B) {
+		cfg := base()
+		cfg.Flight = true
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		runHarness(b, cfg)
+		var events int64
+		for _, s := range reg.Snapshot().Counters {
+			if s.Name == metrics.FlightEventsTotal {
+				events += s.Value
+			}
+		}
+		if events > 0 {
+			b.ReportMetric(float64(events)/float64(b.N), "flight_events")
+		}
+	})
+}
+
 // BenchmarkAblation_CheckpointOverhead measures the recovery runtime's
 // cost on a fault-free run in its three states: checkpointing absent
 // (Config.Checkpoint false — the step loop pays one nil check), every 4

@@ -7,6 +7,12 @@
 //
 //	obsreport m.json
 //	obsreport -trace t.json m.json
+//	obsreport -flight brick-flight.bin m.json
+//
+// -flight merges a brick-flight/v1 recorder artifact: ranks without a
+// trace-derived chain get their chain read off the recorded flight events
+// (the step loop's actual phase/wait order) instead of the canonical-order
+// fallback.
 //
 // Benchmark regression gate, comparing a fresh BENCH_*.json against a
 // committed baseline and exiting nonzero when GStencil/s dropped by more
@@ -21,6 +27,7 @@ import (
 	"os"
 
 	"github.com/bricklab/brick/internal/bench"
+	"github.com/bricklab/brick/internal/flight"
 	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/obs"
 	"github.com/bricklab/brick/internal/trace"
@@ -28,10 +35,11 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "Chrome trace JSON to merge into the chain analysis")
-		benchBase = flag.String("bench-base", "", "committed bench baseline (enables gate mode with -bench-new)")
-		benchNew  = flag.String("bench-new", "", "freshly produced bench baseline to gate against -bench-base")
-		maxDrop   = flag.Float64("max-drop", 0.10, "max allowed fractional GStencil/s drop in gate mode")
+		tracePath  = flag.String("trace", "", "Chrome trace JSON to merge into the chain analysis")
+		flightPath = flag.String("flight", "", "brick-flight/v1 recorder artifact to merge into the chain analysis")
+		benchBase  = flag.String("bench-base", "", "committed bench baseline (enables gate mode with -bench-new)")
+		benchNew   = flag.String("bench-new", "", "freshly produced bench baseline to gate against -bench-base")
+		maxDrop    = flag.Float64("max-drop", 0.10, "max allowed fractional GStencil/s drop in gate mode")
 	)
 	flag.Parse()
 
@@ -45,15 +53,15 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: obsreport [-trace t.json] <metrics.json>")
+		fmt.Fprintln(os.Stderr, "usage: obsreport [-trace t.json] [-flight f.bin] <metrics.json>")
 		fmt.Fprintln(os.Stderr, "       obsreport -bench-base base.json -bench-new new.json [-max-drop 0.10]")
 		os.Exit(2)
 	}
-	report(flag.Arg(0), *tracePath)
+	report(flag.Arg(0), *tracePath, *flightPath)
 }
 
 // report prints the per-rank critical-path breakdown.
-func report(metricsPath, tracePath string) {
+func report(metricsPath, tracePath, flightPath string) {
 	snap, err := metrics.LoadSnapshot(metricsPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
@@ -73,7 +81,14 @@ func report(metricsPath, tracePath string) {
 			os.Exit(1)
 		}
 	}
-	reports := obs.Analyze(snap, events)
+	var fs *flight.Snapshot
+	if flightPath != "" {
+		if fs, err = flight.ReadFile(flightPath); err != nil {
+			fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	reports := obs.AnalyzeWithFlight(snap, events, fs)
 	if len(reports) == 0 {
 		fmt.Fprintln(os.Stderr, "obsreport: no phase histograms in snapshot (was the run instrumented?)")
 		os.Exit(1)

@@ -38,6 +38,10 @@ type Common struct {
 	CheckpointDir   string
 	MaxRecoveries   int
 	VerifyCRC       bool
+
+	Flight      bool
+	FlightDepth int
+	FlightOut   string
 }
 
 // RegisterCommon installs the shared flags on the default flag set.
@@ -64,6 +68,9 @@ func RegisterCommon(ghostDefault, brickDefault, itersDefault int) *Common {
 	flag.StringVar(&c.CheckpointDir, "ckpt-dir", "", "spill committed checkpoint epochs to this directory (brick-ckpt/v1 files)")
 	flag.IntVar(&c.MaxRecoveries, "max-recoveries", 3, "recovery budget under -ckpt before the run fails with the original abort")
 	flag.BoolVar(&c.VerifyCRC, "verify-crc", false, "verify payload CRCs at receive; detected corruption aborts (and recovers under -ckpt)")
+	flag.BoolVar(&c.Flight, "flight", false, "record per-rank flight-recorder rings (post/deliver/wait/Pready/tile events); on stall or abort a brick-flight/v1 artifact is written to -flight-out (inspect with flightreport)")
+	flag.IntVar(&c.FlightDepth, "flight-depth", 0, "per-rank flight ring capacity in events (0 = default 1024)")
+	flag.StringVar(&c.FlightOut, "flight-out", "brick-flight.bin", "path of the brick-flight/v1 artifact written when a -flight run fails")
 	return c
 }
 
@@ -124,6 +131,9 @@ func (c *Common) Apply(cfg *harness.Config, r Resolved) {
 	cfg.CheckpointDir = c.CheckpointDir
 	cfg.MaxRecoveries = c.MaxRecoveries
 	cfg.VerifyCRC = c.VerifyCRC
+	cfg.Flight = c.Flight
+	cfg.FlightDepth = c.FlightDepth
+	cfg.FlightOut = c.FlightOut
 }
 
 // Finish writes the metrics snapshot if -metrics-out was given.

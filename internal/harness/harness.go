@@ -7,11 +7,13 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"time"
 
 	"github.com/bricklab/brick/internal/core"
 	"github.com/bricklab/brick/internal/fault"
+	"github.com/bricklab/brick/internal/flight"
 	"github.com/bricklab/brick/internal/gpu"
 	"github.com/bricklab/brick/internal/layout"
 	"github.com/bricklab/brick/internal/metrics"
@@ -193,6 +195,25 @@ type Config struct {
 	// at delivery and aborts the world — recoverable like a crash.
 	VerifyCRC bool
 
+	// Flight enables the always-on flight recorder: every rank records
+	// post/deliver/wait/Pready/Parrived/tile/step events into a fixed-depth
+	// ring (internal/flight), the watchdog embeds the stalling rank's tail
+	// into its StallReport, and a failed run — stall, abort, or exhausted
+	// recovery budget — snapshots every ring into a brick-flight/v1
+	// artifact at FlightOut (inspect with cmd/flightreport). Disabled (the
+	// default), the record hooks cost one nil check each.
+	Flight bool
+	// FlightDepth is the per-rank ring capacity in events; <= 0 uses
+	// flight.DefaultDepth (1024).
+	FlightDepth int
+	// FlightOut is the artifact path for failed -flight runs; empty
+	// defaults to "brick-flight.bin" in the working directory.
+	FlightOut string
+	// FlightRec optionally supplies the recorder so callers (tests, soak
+	// drivers) can inspect the rings after the run; when nil and Flight is
+	// set, Run builds one sized by ranks() and FlightDepth.
+	FlightRec *flight.Recorder
+
 	// inj is the compiled Fault spec, set by Run before the rank bodies
 	// start; the runners consult it at their hook points. Nil injects
 	// nothing.
@@ -368,6 +389,8 @@ func describeMetrics(reg *metrics.Registry) {
 	reg.Describe(metrics.CkptBytesTotal, "Checkpoint snapshot payload bytes deposited (labels: impl, rank).")
 	reg.Describe(metrics.CkptEpochsTotal, "Committed world-wide checkpoint epochs (labels: impl).")
 	reg.Describe(metrics.RecoveryTotal, "Recovery verdicts (labels: rank, outcome=recovered|budget-exhausted).")
+	reg.Describe(metrics.FlightEventsTotal, "Flight-recorder events recorded per rank (including later-overwritten ones).")
+	reg.Describe(metrics.FlightEventsDroppedTotal, "Flight-recorder events lost to ring wraparound per rank.")
 }
 
 // recordPlan captures an exchanger's compiled plan into the result and
@@ -411,6 +434,7 @@ func Run(cfg Config) (res Result, err error) {
 		return Result{}, err
 	}
 	cfg.inj = inj
+	cfg.resolveFlight()
 	if cfg.Checkpoint {
 		return runRecoverable(cfg)
 	}
@@ -426,6 +450,7 @@ func Run(cfg Config) (res Result, err error) {
 			if !ok {
 				panic(p)
 			}
+			flightDump(cfg, ae, "")
 			res, err = Result{}, ae
 		}
 	}()
@@ -433,8 +458,55 @@ func Run(cfg Config) (res Result, err error) {
 	return aggregate(cfg, perRank), nil
 }
 
+// resolveFlight materializes the run's flight recorder: the supplied
+// FlightRec if any, otherwise a fresh one when Flight is set. Run and
+// runRecoverable call it once, before the first world starts, so one
+// recorder (and one time epoch) spans every recovery epoch.
+func (c *Config) resolveFlight() {
+	if c.FlightRec == nil && c.Flight {
+		c.FlightRec = flight.New(c.ranks(), c.FlightDepth)
+	}
+}
+
+// flightDump snapshots the flight recorder into the brick-flight/v1
+// artifact after a failed run. reason overrides the inferred trigger
+// ("stall" for watchdog aborts, "abort" otherwise) — the recovery driver
+// passes "recovery-budget" when the budget ran out. Best-effort: an
+// artifact write failure is reported on stderr, not allowed to mask the
+// run's real error.
+func flightDump(cfg Config, ae *mpi.AbortError, reason string) {
+	fr := cfg.FlightRec
+	if fr == nil {
+		return
+	}
+	var pending []flight.PendingRef
+	if rep, ok := ae.Value.(*mpi.StallReport); ok {
+		if reason == "" {
+			reason = "stall"
+		}
+		for _, op := range rep.Pending {
+			pending = append(pending, flight.PendingRef{
+				Kind: op.Kind, Src: op.Src, Dst: op.Dst, Tag: op.Tag,
+				Partitions: op.Partitions, Unready: op.Unready,
+			})
+		}
+	} else if reason == "" {
+		reason = "abort"
+	}
+	path := cfg.FlightOut
+	if path == "" {
+		path = "brick-flight.bin"
+	}
+	snap := fr.Snapshot(reason, ae.Error(), pending)
+	if werr := snap.WriteFile(path); werr != nil {
+		fmt.Fprintf(os.Stderr, "harness: flight artifact write failed: %v\n", werr)
+	} else {
+		fmt.Fprintf(os.Stderr, "harness: flight recorder artifact written to %s (inspect with flightreport)\n", path)
+	}
+}
+
 // setupWorld builds the world with the config's fault, watchdog, CRC,
-// trace, and metrics wiring. The returned detach func undoes the
+// trace, flight, and metrics wiring. The returned detach func undoes the
 // process-wide pool instrumentation; call it when the run ends.
 func setupWorld(cfg Config) (*mpi.World, func()) {
 	w := mpi.NewWorld(cfg.ranks())
@@ -442,6 +514,7 @@ func setupWorld(cfg Config) (*mpi.World, func()) {
 	w.SetWatchdog(cfg.Watchdog, nil)
 	w.SetVerifyCRC(cfg.VerifyCRC)
 	w.SetTrace(cfg.Trace)
+	w.SetFlight(cfg.FlightRec)
 	detach := func() {}
 	if cfg.Metrics != nil {
 		describeMetrics(cfg.Metrics)
@@ -491,6 +564,14 @@ func rankBody(cfg Config, perRank []Result) func(*mpi.Comm) {
 			reg.Counter(metrics.MPISentBytesTotal, lb).Add(tr.SentBytes)
 			reg.Counter(metrics.MPIRecvMsgsTotal, lb).Add(tr.RecvMsgs)
 			reg.Counter(metrics.MPIRecvBytesTotal, lb).Add(tr.RecvBytes)
+			if g := cfg.FlightRec.Rank(c.Rank()); g != nil {
+				// Drained like the traffic counters: each event lands in
+				// exactly one epoch's add, so recovery replays accumulate.
+				total, dropped := g.Drain()
+				flb := metrics.Labels{"rank": strconv.Itoa(c.Rank())}
+				reg.Counter(metrics.FlightEventsTotal, flb).Add(int64(total))
+				reg.Counter(metrics.FlightEventsDroppedTotal, flb).Add(int64(dropped))
+			}
 		}
 		perRank[c.Rank()] = r
 	}

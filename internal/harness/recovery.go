@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/bricklab/brick/internal/ckpt"
+	"github.com/bricklab/brick/internal/flight"
 	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/mpi"
 	"github.com/bricklab/brick/internal/trace"
@@ -22,6 +23,7 @@ type ckptState struct {
 	impl  Impl
 	reg   *metrics.Registry
 	rec   *trace.Recorder
+	fr    *flight.Recorder
 
 	mu      sync.Mutex
 	digests map[int]string // rank -> plan digest of the first build
@@ -38,6 +40,7 @@ func newCkptState(cfg Config) *ckptState {
 		impl:    cfg.Impl,
 		reg:     cfg.Metrics,
 		rec:     cfg.Trace,
+		fr:      cfg.FlightRec,
 		digests: map[int]string{},
 	}
 }
@@ -71,6 +74,7 @@ func (ck *ckptState) noteDigest(rank int, digest string) error {
 // stall.
 func (ck *ckptState) checkpoint(comm *mpi.Comm, rank, step int, capture func() *ckpt.Snapshot) {
 	comm.Barrier()
+	ck.fr.Rank(rank).Record(flight.KindCkpt, -1, -1, -1, 0, 0)
 	end := ck.rec.Begin(rank, trace.KindCkpt, fmt.Sprintf("ckpt step=%d", step), -1, 0)
 	snap := capture()
 	committed, err := ck.store.Put(snap)
@@ -141,6 +145,9 @@ func runRecoverable(cfg Config) (res Result, err error) {
 			exhausted = ae
 			return false
 		}
+		// Mark the recovery epoch on the failed rank's ring (watchdog aborts
+		// carry rank -1, which Rank maps to a nil no-op ring).
+		cfg.FlightRec.Rank(ae.Rank).Record(flight.KindRecovery, -1, -1, -1, 0, 0)
 		end := cfg.Trace.Begin(ae.Rank, trace.KindRecovery,
 			fmt.Sprintf("recovery attempt=%d", attempt), -1, 0)
 		// A failure mid-checkpoint leaves a partial epoch nobody will
@@ -162,8 +169,10 @@ func runRecoverable(cfg Config) (res Result, err error) {
 				panic(p)
 			}
 			if ae == exhausted {
+				flightDump(cfg, ae, "recovery-budget")
 				err = fmt.Errorf("harness: recovery budget exhausted after %d recoveries: %w", budget, ae)
 			} else {
+				flightDump(cfg, ae, "")
 				err = ae
 			}
 			res = Result{}

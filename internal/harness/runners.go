@@ -6,6 +6,7 @@ import (
 
 	"github.com/bricklab/brick/internal/ckpt"
 	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/flight"
 	"github.com/bricklab/brick/internal/gpu"
 	"github.com/bricklab/brick/internal/grid"
 	"github.com/bricklab/brick/internal/layout"
@@ -225,6 +226,7 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 		}
 	}
 	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
+	fr := cfg.FlightRec.Rank(rank) // nil when the recorder is off
 	// Overlap communication with interior computation for every brick
 	// implementation except Shift (its three slab phases are serialized by
 	// corner forwarding), whenever ghosts are refreshed every step. Ghost
@@ -246,6 +248,7 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	// checkpoint clock. s is the phase-local index driving the exchange
 	// cadence.
 	step := func(abs, s int, timed bool) {
+		fr.StepMark(abs)
 		cfg.inj.StepPanic(rank, abs)
 		if !usePart {
 			if degradable != nil && cfg.inj.DegradeAtStep(rank, abs) {
@@ -268,7 +271,9 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			// this mode exists to build. The sends for this step's exchange
 			// were armed (and progressively released) by the previous
 			// step's surface pass — only the receives are started here.
+			fr.Phase(flight.PhaseExchange)
 			part.StartRecvs()
+			fr.Phase(flight.PhaseInterior)
 			t0 := time.Now()
 			inter := dec.Interior()
 			stencil.ApplyBricksRangeWorkers(dst, src, dec, cfg.Stencil, 0, inter.Start, inter.End(), wk)
@@ -289,20 +294,24 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			} else {
 				part.StartSends()
 			}
+			fr.Phase(flight.PhaseSurface)
 			t0 = time.Now()
-			stencil.ApplyBricksTiles(dst, src, dec, cfg.Stencil, 0, tiles, wk, onTile)
+			stencil.ApplyBricksTilesFlight(dst, src, dec, cfg.Stencil, 0, tiles, wk, onTile, fr)
 			calc += time.Since(t0)
 		} else if overlap {
 			// Start the exchange, compute interior bricks while it is in
 			// flight, complete, then compute the surface bricks. In flight
 			// the exchange reads only surface bricks and writes only ghost
 			// bricks, both disjoint from the interior span.
+			fr.Phase(flight.PhaseExchange)
 			ex.Start()
+			fr.Phase(flight.PhaseInterior)
 			t0 := time.Now()
 			inter := dec.Interior()
 			stencil.ApplyBricksRangeWorkers(dst, src, dec, cfg.Stencil, 0, inter.Start, inter.End(), wk)
 			calc = time.Since(t0)
 			ex.Complete()
+			fr.Phase(flight.PhaseSurface)
 			t0 = time.Now()
 			stencil.ApplyBricksSpans(dst, src, dec, cfg.Stencil, 0, surfSpans, wk)
 			calc += time.Since(t0)
@@ -443,6 +452,7 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 		}
 	}
 	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
+	fr := cfg.FlightRec.Rank(rank) // nil when the recorder is off
 	r := cfg.Stencil.Radius
 	wk := cfg.Workers
 	// MPITypes joins YASKOL in overlapping the exchange with interior
@@ -455,6 +465,7 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	// checkpoint clock. s is the phase-local index driving the exchange
 	// cadence.
 	step := func(abs, s int, timed bool) {
+		fr.StepMark(abs)
 		cfg.inj.StepPanic(rank, abs)
 		comm.Barrier()
 		var calc time.Duration
@@ -589,10 +600,12 @@ func runGPURank(cfg Config, cart *mpi.Cart) (Result, error) {
 	marg := margins(cfg)
 	comm := cart.Comm()
 	po := newPhaseObs(cfg.Metrics, cfg.Impl, comm.Rank())
+	fr := cfg.FlightRec.Rank(comm.Rank()) // nil when the recorder is off
 	// GPU runs have no snapshot hooks: recovery replays a modeled run from
 	// step zero (the sim is rebuilt each epoch; injected panics are
 	// one-shot, so replay runs clean).
 	step := func(abs, s int, timed bool) {
+		fr.StepMark(abs)
 		cfg.inj.StepPanic(comm.Rank(), abs)
 		comm.Barrier()
 		var cc gpu.CommCost

@@ -89,6 +89,17 @@ const (
 	// rank or "-1" for watchdog aborts, outcome = recovered|budget-exhausted).
 	RecoveryTotal = "recovery_total"
 
+	// Flight-recorder families (internal/flight, PR 7), mirrored from each
+	// rank's ring at the end of a harness run.
+	//
+	// FlightEventsTotal: counter of flight events recorded, including ones
+	// later overwritten by ring wraparound (labels: rank).
+	FlightEventsTotal = "flight_events_total"
+	// FlightEventsDroppedTotal: counter of flight events lost to ring
+	// wraparound — a persistently high ratio to FlightEventsTotal means
+	// -flight-depth is too small for the step cadence (labels: rank).
+	FlightEventsDroppedTotal = "flight_events_dropped_total"
+
 	// StencilTileSeconds: histogram of per-tile kernel execution time in
 	// the worker pool (no labels; the pool is process-wide).
 	StencilTileSeconds = "stencil_tile_seconds"

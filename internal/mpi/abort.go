@@ -3,6 +3,8 @@ package mpi
 import (
 	"errors"
 	"fmt"
+
+	"github.com/bricklab/brick/internal/flight"
 )
 
 // ErrAborted is the sentinel wrapped by every AbortError; errors.Is(err,
@@ -53,6 +55,9 @@ func (e *AbortError) Unwrap() []error {
 // first failure wins, as in MPI_Abort.
 func (w *World) abort(rank int, v any) {
 	w.abortOnce.Do(func() {
+		// The originating rank's last flight event is the abort itself, so a
+		// post-mortem ring ends at the kill shot rather than trailing off.
+		w.flight.Rank(rank).Record(flight.KindAbort, -1, -1, -1, 0, 0)
 		w.abortVal.Store(&AbortError{Rank: rank, Value: v})
 		close(w.abortCh)
 		w.bar.abortAll()

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/bricklab/brick/internal/fault"
+	"github.com/bricklab/brick/internal/flight"
 	"github.com/bricklab/brick/internal/metrics"
 	"github.com/bricklab/brick/internal/trace"
 )
@@ -44,6 +45,7 @@ type World struct {
 	pers   persistReg
 	rec    *trace.Recorder
 	reg    *metrics.Registry
+	flight *flight.Recorder
 
 	// Fault tolerance (see abort.go, watchdog.go): abortCh is closed by the
 	// first abort and unblocks every pending wait; abortVal carries the
@@ -62,6 +64,16 @@ type World struct {
 // interval is recorded on it. Call before Run. A nil recorder disables
 // tracing (the default).
 func (w *World) SetTrace(rec *trace.Recorder) { w.rec = rec }
+
+// SetFlight attaches a flight recorder sized for this world; every rank
+// records post/deliver/wait/Pready/Parrived/abort events into its ring,
+// and the watchdog embeds the stalling rank's tail into StallReports.
+// Call before Run. A nil recorder disables recording (the default) at the
+// cost of one nil check per operation.
+func (w *World) SetFlight(rec *flight.Recorder) { w.flight = rec }
+
+// Flight returns the attached flight recorder, or nil.
+func (w *World) Flight() *flight.Recorder { return w.flight }
 
 // SetFault attaches a fault injector; every send (one-shot Isend and
 // persistent Start) consults it for injected delays and one-shot stalls.
@@ -149,7 +161,7 @@ func (w *World) Run(body func(*Comm)) {
 					w.abort(rank, p)
 				}
 			}()
-			c := &Comm{world: w, rank: rank}
+			c := &Comm{world: w, rank: rank, fl: w.flight.Rank(rank)}
 			if w.reg != nil {
 				c.m = newCommMetrics(w.reg, rank)
 			}
@@ -173,6 +185,7 @@ type Comm struct {
 	world *World
 	rank  int
 	m     *commMetrics // nil unless World.SetMetrics was called
+	fl    *flight.Ring // nil unless World.SetFlight was called
 
 	// Traffic counters, drained with TrafficSnapshot. Sends count
 	// point-to-point messages initiated by this rank (payload float64s are
@@ -235,6 +248,7 @@ type envelope struct {
 	post     time.Time        // when Isend posted; zero unless m != nil
 	m        *commMetrics     // sender's metrics, nil when disabled
 	flips    []fault.ByteFlip // injected in-flight corruption, nil normally
+	seq      uint64           // sender's flight sequence stamp, 0 when unrecorded
 }
 
 // posted is a receive awaiting a matching send.
@@ -282,7 +296,8 @@ func (c *Comm) Isend(dst, tag int, buf []float64) *Request {
 	if rec := c.world.rec; rec != nil {
 		rec.Begin(c.rank, trace.KindSend, fmt.Sprintf("send->%d tag=%d", dst, tag), dst, int64(8*len(buf)))()
 	}
-	env := &envelope{src: c.rank, tag: tag, data: buf, done: make(chan struct{}), flips: flips}
+	env := &envelope{src: c.rank, tag: tag, data: buf, done: make(chan struct{}), flips: flips,
+		seq: c.fl.Send(int32(dst), int32(tag), -1, int64(8*len(buf)))}
 	if c.m != nil {
 		env.post, env.m = time.Now(), c.m
 		c.m.sendBytes.Observe(float64(8 * len(buf)))
@@ -312,6 +327,7 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 	if rec := c.world.rec; rec != nil {
 		rec.Begin(c.rank, trace.KindRecv, fmt.Sprintf("recv<-%d tag=%d", src, tag), src, int64(8*len(buf)))()
 	}
+	c.fl.RecvPost(int32(src), int32(tag), int64(8*len(buf)))
 	p := &posted{src: src, tag: tag, buf: buf, done: make(chan struct{})}
 	if c.m != nil {
 		p.post, p.m = time.Now(), c.m
@@ -342,7 +358,7 @@ func deliver(w *World, dst int, env *envelope, p *posted) {
 		// peer ranks unblock, then abort the job via panic (propagated by
 		// World.Run).
 		env = &envelope{src: env.src, tag: env.tag, data: env.data[:len(p.buf)], done: env.done,
-			post: env.post, m: env.m, flips: env.flips}
+			post: env.post, m: env.m, flips: env.flips, seq: env.seq}
 	}
 	copy(p.buf, env.data)
 	if env.flips != nil {
@@ -356,6 +372,7 @@ func deliver(w *World, dst int, env *envelope, p *posted) {
 		p.m.recvMatchWait.Observe(time.Since(p.post).Seconds())
 		p.m.recvBytes.Observe(float64(8 * len(env.data)))
 	}
+	w.flight.Rank(dst).Deliver(int32(env.src), int32(env.tag), -1, int64(8*len(env.data)), env.seq)
 	p.env = env
 	close(p.done)
 	close(env.done)
@@ -380,8 +397,10 @@ func (r *Request) Wait() int {
 		return r.waitPersistent()
 	}
 	var m *commMetrics
+	var fl *flight.Ring
 	if r.comm != nil {
 		m = r.comm.m
+		fl = r.comm.fl
 		if rec := r.comm.world.rec; rec != nil {
 			end := rec.Begin(r.comm.rank, trace.KindWait, "wait", -1, 0)
 			defer end()
@@ -391,7 +410,9 @@ func (r *Request) Wait() int {
 	if m != nil {
 		t0 = time.Now()
 	}
+	fl.Record(flight.KindWaitStart, int32(r.peer), int32(r.tag), -1, 0, 0)
 	r.block()
+	fl.Record(flight.KindWaitDone, int32(r.peer), int32(r.tag), -1, 0, 0)
 	if m != nil {
 		m.waitSeconds.Observe(time.Since(t0).Seconds())
 	}

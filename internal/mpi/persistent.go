@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/bricklab/brick/internal/fault"
+	"github.com/bricklab/brick/internal/flight"
 	"github.com/bricklab/brick/internal/trace"
 )
 
@@ -61,6 +62,7 @@ type pchan struct {
 	sendLabel  string
 	recvLabel  string
 	flips      []fault.ByteFlip // injected corruption for the current cycle
+	seq        uint64           // sender's flight sequence stamp for the current cycle
 
 	// Partitioned state (MPI 4.x Psend_init/Pready/Parrived), nil/zero on
 	// unpartitioned channels. bounds holds the P+1 element offsets of the P
@@ -295,6 +297,7 @@ func (pc *pchan) completeCycleLocked() error {
 	if m := pc.sendComm.m; m != nil && !pc.sendStart.IsZero() {
 		m.sendSeconds.Observe(time.Since(pc.sendStart).Seconds())
 	}
+	pc.recvComm.fl.Deliver(int32(pc.key.src), int32(pc.key.tag), -1, int64(8*len(pc.sendBuf)), pc.seq)
 	pc.sendFired, pc.recvFired = false, false
 	pc.sendDone <- struct{}{}
 	pc.recvDone <- struct{}{}
@@ -311,6 +314,7 @@ func (pc *pchan) deliverPartLocked(i int) error {
 	}
 	lo, hi := pc.bounds[i], pc.bounds[i+1]
 	copy(pc.recvBuf[lo:hi], pc.sendBuf[lo:hi])
+	pc.recvComm.fl.Record(flight.KindParrived, int32(pc.key.src), int32(pc.key.tag), int32(i), int64(8*(hi-lo)), pc.seq)
 	pc.arrived[i] = true
 	pc.narrived++
 	if pc.narrived == len(pc.arrived) {
@@ -355,12 +359,14 @@ func (r *Request) Start() {
 		if rec := c.world.rec; rec != nil {
 			rec.Begin(c.rank, trace.KindSend, pc.sendLabel, pc.key.dst, int64(8*len(pc.sendBuf)))()
 		}
+		seq := c.fl.Send(int32(pc.key.dst), int32(pc.key.tag), -1, int64(8*len(pc.sendBuf)))
 		pc.mu.Lock()
 		if pc.sendActive {
 			pc.mu.Unlock()
 			panic("mpi: persistent send started twice without Wait")
 		}
 		pc.sendActive, pc.sendFired = true, true
+		pc.seq = seq
 		if f := c.world.fault; f != nil {
 			pc.flips = f.CorruptSend(c.rank, len(pc.sendBuf))
 		}
@@ -388,6 +394,7 @@ func (r *Request) Start() {
 	if rec := c.world.rec; rec != nil {
 		rec.Begin(c.rank, trace.KindRecv, pc.recvLabel, pc.key.src, int64(8*len(pc.recvBuf)))()
 	}
+	c.fl.RecvPost(int32(pc.key.src), int32(pc.key.tag), int64(8*len(pc.recvBuf)))
 	pc.mu.Lock()
 	if pc.recvActive {
 		pc.mu.Unlock()
@@ -452,6 +459,8 @@ func (r *Request) PreadyRange(lo, hi int) {
 		}
 		pc.ready[i] = true
 		pc.nready++
+		c.fl.Record(flight.KindPready, int32(pc.key.dst), int32(pc.key.tag), int32(i),
+			int64(8*(pc.bounds[i+1]-pc.bounds[i])), pc.seq)
 		if pc.recvFired && !pc.arrived[i] {
 			if err = pc.deliverPartLocked(i); err != nil {
 				break
@@ -544,6 +553,11 @@ func (r *Request) waitPersistent() int {
 	if m != nil {
 		t0 = time.Now()
 	}
+	peer, tag := int32(r.pc.key.src), int32(r.pc.key.tag)
+	if r.psend {
+		peer = int32(r.pc.key.dst)
+	}
+	c.fl.Record(flight.KindWaitStart, peer, tag, -1, 0, 0)
 	tok := r.token()
 	select {
 	case <-tok:
@@ -554,6 +568,7 @@ func (r *Request) waitPersistent() int {
 			panic(c.world.Aborted())
 		}
 	}
+	c.fl.Record(flight.KindWaitDone, peer, tag, -1, 0, 0)
 	n := r.finishPersistent()
 	if m != nil {
 		m.waitSeconds.Observe(time.Since(t0).Seconds())

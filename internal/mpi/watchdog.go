@@ -183,7 +183,20 @@ type StallReport struct {
 	Recovery int `json:"recovery"`
 	// Pending lists every stalled operation, sorted by (kind, src, dst, tag).
 	Pending []PendingOp `json:"pending"`
+	// FlightRank and FlightTail carry the tail of the stalling rank's
+	// flight ring when a recorder was attached (SetFlight): the rank is
+	// chosen deterministically from the first pending op (its destination,
+	// falling back to its source), and the tail holds the newest events in
+	// their timestamp-free Compact rendering, oldest first. Empty when no
+	// recorder is attached.
+	FlightRank int      `json:"flight_rank,omitempty"`
+	FlightTail []string `json:"flight_tail,omitempty"`
 }
+
+// flightTailLen is how many trailing events of the stalling rank's ring a
+// StallReport embeds — enough to show the last step's posting order
+// without drowning the report.
+const flightTailLen = 16
 
 // StallReport takes a live snapshot of every pending operation. The
 // watchdog calls it on stall; tests and debugging hooks may call it at any
@@ -287,6 +300,18 @@ func (w *World) StallReport() *StallReport {
 		}
 		return a.Tag < b.Tag
 	})
+	if fr := w.flight; fr != nil && len(rep.Pending) > 0 {
+		victim := rep.Pending[0].Dst
+		if victim < 0 || victim >= w.size {
+			victim = rep.Pending[0].Src
+		}
+		if g := fr.Rank(victim); g != nil {
+			rep.FlightRank = victim
+			for _, e := range g.Tail(flightTailLen) {
+				rep.FlightTail = append(rep.FlightTail, e.Compact())
+			}
+		}
+	}
 	return rep
 }
 
@@ -319,6 +344,12 @@ func (r *StallReport) String() string {
 			fmt.Fprintf(&b, " parts=%d/%d unready=%v", op.Ready, op.Partitions, op.Unready)
 		}
 		b.WriteByte('\n')
+	}
+	if len(r.FlightTail) > 0 {
+		fmt.Fprintf(&b, "  flight tail (rank %d, last %d events):\n", r.FlightRank, len(r.FlightTail))
+		for _, line := range r.FlightTail {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
 	}
 	return b.String()
 }

@@ -202,6 +202,13 @@ func TestStallReportGoldenFormat(t *testing.T) {
 			{Kind: "recv-posted", Src: -1, Dst: 2, Tag: -1, Bytes: 64},
 			{Kind: "send-unmatched", Src: 3, Dst: 2, Tag: 11, Bytes: 16},
 		},
+		FlightRank: 1,
+		FlightTail: []string{
+			"step step=2",
+			"phase step=2 phase=exchange",
+			"recv-post step=2 peer=0 tag=8 bytes=32",
+			"wait-start step=2 peer=0 tag=8",
+		},
 	}
 	got := rep.String()
 	path := filepath.Join("testdata", "stallreport.golden")

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/bricklab/brick/internal/flight"
 	"github.com/bricklab/brick/internal/metrics"
 )
 
@@ -200,6 +201,16 @@ func (p *Pool) ForRange(workers, n int, fn func(lo, hi int)) {
 // unguarded pool worker. The first panic wins; tiles already claimed by
 // other executors still run.
 func (p *Pool) ForTiles(workers int, tiles [][2]int, fn func(lo, hi int), onDone func(tile int)) {
+	p.ForTilesFlight(workers, tiles, fn, onDone, nil)
+}
+
+// ForTilesFlight is ForTiles with a flight ring: every tile records a
+// tile-start event before fn and a tile-done event after fn returns but
+// before onDone fires — so in a partitioned exchange the ring shows
+// tile-start → tile-done → pready in causal order, and a tile whose
+// tile-done never appears is the one that hung or panicked. A nil ring
+// records nothing.
+func (p *Pool) ForTilesFlight(workers int, tiles [][2]int, fn func(lo, hi int), onDone func(tile int), fl *flight.Ring) {
 	if len(tiles) == 0 {
 		return
 	}
@@ -219,7 +230,9 @@ func (p *Pool) ForTiles(workers int, tiles [][2]int, fn func(lo, hi int), onDone
 		}
 	}
 	exec := func(t int) {
+		fl.Record(flight.KindTileStart, -1, -1, int32(t), 0, 0)
 		run(tiles[t][0], tiles[t][1])
+		fl.Record(flight.KindTileDone, -1, -1, int32(t), 0, 0)
 		if onDone != nil {
 			onDone(t)
 		}

@@ -31,6 +31,14 @@ const (
 	// path in cmd/obsreport when they dominate a step.
 	KindCkpt     Kind = "ckpt"
 	KindRecovery Kind = "recovery"
+	// Flight-recorder export kinds (flight.ToTrace): surface tiles, step
+	// boundaries, partition readiness/delivery, and world aborts, so flight
+	// rings render in the same Chrome-trace viewers as live traces.
+	KindTile    Kind = "tile"
+	KindStep    Kind = "step"
+	KindPready  Kind = "pready"
+	KindDeliver Kind = "deliver"
+	KindAbort   Kind = "abort"
 )
 
 // Event is one timed interval on a rank's timeline.
@@ -145,14 +153,20 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteChromeTrace emits the timeline in the Chrome trace-event JSON array
+// WriteChromeTrace emits the recorder's timeline in the Chrome trace-event
+// JSON array format; see the package-level WriteChromeTrace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, r.Events())
+}
+
+// WriteChromeTrace emits events in the Chrome trace-event JSON array
 // format: one row (tid) per rank. Events are streamed one per line rather
 // than marshalled as one giant array, and every write's error — including
 // short writes, which io.Writer reports as err != nil with n < len — is
 // propagated, so a full disk or closed pipe cannot silently truncate the
-// trace.
-func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	evs := r.Events()
+// trace. Both live recorders and flight-ring exports (flight.ToTrace)
+// funnel through here.
+func WriteChromeTrace(w io.Writer, evs []Event) error {
 	if _, err := io.WriteString(w, "[\n"); err != nil {
 		return err
 	}
