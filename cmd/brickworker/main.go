@@ -1,0 +1,24 @@
+// Command brickworker is a standalone rank worker for cross-process shmem
+// worlds. Supervisors normally respawn their own executable (which calls
+// harness.WorkerMain first thing in main), so this binary exists for the
+// cases where that re-entry is unavailable or undesirable: point
+// BRICK_WORKER_BIN at a built brickworker and any supervisor — including
+// one built from a different package — spawns it instead.
+//
+// It is nothing but the worker hook: outside a worker environment it
+// explains itself and exits nonzero.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/bricklab/brick/internal/harness"
+)
+
+func main() {
+	harness.WorkerMain()
+	// WorkerMain only returns when the worker environment is absent.
+	fmt.Fprintln(os.Stderr, "brickworker: not spawned as a rank worker (BRICK_WORKER_RANK unset); this binary is started by a supervisor, not by hand — see docs/transports.md")
+	os.Exit(2)
+}

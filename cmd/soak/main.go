@@ -25,6 +25,8 @@ import (
 )
 
 func main() {
+	// Under -transport shmem this binary doubles as its own rank worker.
+	harness.WorkerMain()
 	var (
 		implList = flag.String("impls", "", "comma-separated implementations to soak (default: all CPU impls)")
 		dim      = flag.Int("d", 16, "cubic subdomain dimension per rank (elements)")

@@ -17,6 +17,8 @@ import (
 )
 
 func main() {
+	// Under -transport shmem this binary doubles as its own rank worker.
+	harness.WorkerMain()
 	var (
 		global   = flag.Int("global", 128, "global cubic domain dimension")
 		implList = flag.String("impl", "memmap,yask", "comma-separated implementations")

@@ -55,6 +55,8 @@ func writeExchangeTrace(cfg harness.Config, path string) error {
 }
 
 func main() {
+	// Under -transport shmem this binary doubles as its own rank worker.
+	harness.WorkerMain()
 	var (
 		implName = flag.String("impl", "layout", "implementation: "+cli.ImplNames())
 		dim      = flag.Int("d", 32, "cubic subdomain dimension per rank (elements)")

@@ -4,12 +4,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/bricklab/brick/internal/core"
 	"github.com/bricklab/brick/internal/fault"
 	"github.com/bricklab/brick/internal/harness"
 	"github.com/bricklab/brick/internal/metrics"
+	"github.com/bricklab/brick/internal/mpi"
 	"github.com/bricklab/brick/internal/netmodel"
 	"github.com/bricklab/brick/internal/stencil"
 )
@@ -21,6 +23,7 @@ import (
 type Common struct {
 	Stencil     string
 	Machine     string
+	Transport   string
 	Ghost       int
 	Brick       int
 	Iters       int
@@ -52,6 +55,8 @@ func RegisterCommon(ghostDefault, brickDefault, itersDefault int) *Common {
 	c := &Common{}
 	flag.StringVar(&c.Stencil, "stencil", "7pt", "stencil: 7pt or 125pt")
 	flag.StringVar(&c.Machine, "machine", "theta-knl", "machine profile for the network model")
+	flag.StringVar(&c.Transport, "transport", mpi.DefaultTransport,
+		"mpi transport backend ("+strings.Join(mpi.TransportNames(), ", ")+"); shmem runs each rank as a worker process over a shared-memory segment")
 	flag.IntVar(&c.Ghost, "ghost", ghostDefault, "ghost width (elements)")
 	flag.IntVar(&c.Brick, "brick", brickDefault, "brick dimension")
 	flag.IntVar(&c.Iters, "I", itersDefault, "timed iterations (timesteps)")
@@ -114,6 +119,7 @@ func (c *Common) Resolve(prog string, needRegistry bool) (Resolved, error) {
 
 // Apply stamps the shared values onto a harness configuration.
 func (c *Common) Apply(cfg *harness.Config, r Resolved) {
+	cfg.Transport = c.Transport
 	cfg.Ghost = c.Ghost
 	cfg.Shape = core.Shape{c.Brick, c.Brick, c.Brick}
 	cfg.Stencil = r.Stencil

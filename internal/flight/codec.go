@@ -54,6 +54,9 @@ type Snapshot struct {
 	// Detail carries the trigger's message (an AbortError / StallReport
 	// rendering).
 	Detail string
+	// Transport names the mpi backend the world ran on ("chan", "shmem").
+	// Empty in artifacts written before the field existed.
+	Transport string
 	// Depth is the per-rank ring capacity the recorder ran with.
 	Depth int
 	// Pending are the operations still outstanding at capture time.
@@ -65,11 +68,12 @@ type Snapshot struct {
 // codecHeader is the JSON block after the magic: all metadata plus the
 // per-rank record counts, so the binary tail is self-describing.
 type codecHeader struct {
-	Reason  string       `json:"reason"`
-	Detail  string       `json:"detail,omitempty"`
-	Depth   int          `json:"depth"`
-	Pending []PendingRef `json:"pending,omitempty"`
-	Ranks   []rankHeader `json:"ranks"`
+	Reason    string       `json:"reason"`
+	Detail    string       `json:"detail,omitempty"`
+	Transport string       `json:"transport,omitempty"`
+	Depth     int          `json:"depth"`
+	Pending   []PendingRef `json:"pending,omitempty"`
+	Ranks     []rankHeader `json:"ranks"`
 }
 
 type rankHeader struct {
@@ -115,8 +119,8 @@ func getEvent(b []byte) Event {
 // The trailing CRC makes torn or bit-rotted artifacts detectable at read
 // time instead of silently feeding garbage into the causal analysis.
 func (s *Snapshot) EncodeTo(w io.Writer) error {
-	h := codecHeader{Reason: s.Reason, Detail: s.Detail, Depth: s.Depth, Pending: s.Pending,
-		Ranks: make([]rankHeader, len(s.Ranks))}
+	h := codecHeader{Reason: s.Reason, Detail: s.Detail, Transport: s.Transport, Depth: s.Depth,
+		Pending: s.Pending, Ranks: make([]rankHeader, len(s.Ranks))}
 	for i, rl := range s.Ranks {
 		h.Ranks[i] = rankHeader{Rank: rl.Rank, Total: rl.Total, Dropped: rl.Dropped, Count: len(rl.Events)}
 	}
@@ -186,8 +190,8 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("flight: decode header: %w", err)
 	}
 	rest = rest[hlen:]
-	s := &Snapshot{Reason: h.Reason, Detail: h.Detail, Depth: h.Depth, Pending: h.Pending,
-		Ranks: make([]RankLog, len(h.Ranks))}
+	s := &Snapshot{Reason: h.Reason, Detail: h.Detail, Transport: h.Transport, Depth: h.Depth,
+		Pending: h.Pending, Ranks: make([]RankLog, len(h.Ranks))}
 	for i, rh := range h.Ranks {
 		if rh.Count < 0 || len(rest) < rh.Count*recSize {
 			return nil, fmt.Errorf("flight: truncated payload for rank %d (%d of %d records)",

@@ -112,15 +112,23 @@ func (im Impl) Brick() bool {
 
 // Config describes one experiment run.
 type Config struct {
-	Impl    Impl
-	Procs   [3]int // rank grid (i,j,k); product = world size
-	Dom     [3]int // subdomain elements per rank
-	Ghost   int    // ghost width in elements
-	Shape   core.Shape
-	Stencil stencil.Stencil
-	Steps   int // timed timesteps
-	Warmup  int // untimed timesteps
-	Machine netmodel.Machine
+	Impl  Impl
+	Procs [3]int // rank grid (i,j,k); product = world size
+	Dom   [3]int // subdomain elements per rank
+	// Transport selects the mpi backend. Empty or "chan" runs every rank as
+	// a goroutine of this process (the default). "shmem" runs the world
+	// across processes: the harness becomes a supervisor that spawns one
+	// worker process per rank over a shared-memory segment (see
+	// runSupervised and WorkerMain). Cross-process runs reject the
+	// observability hooks that cannot span processes — Metrics, Trace,
+	// Checkpoint, a caller-supplied FlightRec — and GPU (modeled) impls.
+	Transport string
+	Ghost     int // ghost width in elements
+	Shape     core.Shape
+	Stencil   stencil.Stencil
+	Steps     int // timed timesteps
+	Warmup    int // untimed timesteps
+	Machine   netmodel.Machine
 	// PageBytes overrides the page size used for MemMap padding (Fig. 18
 	// page-size sweep); 0 uses the machine's page size.
 	PageBytes int
@@ -225,6 +233,18 @@ type Config struct {
 
 func (c Config) ranks() int { return c.Procs[0] * c.Procs[1] * c.Procs[2] }
 
+// transportName resolves the empty default to the mpi default backend.
+func (c Config) transportName() string {
+	if c.Transport == "" {
+		return mpi.DefaultTransport
+	}
+	return c.Transport
+}
+
+// supervised reports whether the run spawns worker processes (any backend
+// other than the in-process chan default).
+func (c Config) supervised() bool { return c.transportName() != mpi.DefaultTransport }
+
 func (c Config) pageBytes() int {
 	if c.PageBytes > 0 {
 		return c.PageBytes
@@ -311,6 +331,26 @@ func (c Config) Validate() error {
 	if c.Partitioned && c.DisablePersistent {
 		return fmt.Errorf("harness: -partitioned requires persistent plans (drop -persistent=false)")
 	}
+	if c.supervised() {
+		// Worker ranks are separate processes: hooks that hand the caller a
+		// live in-process object cannot see them, and checkpoint recovery
+		// needs a respawnable world, which shmem is not.
+		if c.Checkpoint {
+			return fmt.Errorf("harness: checkpoint recovery is unsupported on transport %q (shmem worlds are not respawnable)", c.transportName())
+		}
+		if c.Impl.GPU() {
+			return fmt.Errorf("harness: GPU (modeled) impl %s is unsupported on transport %q", c.Impl, c.transportName())
+		}
+		if c.Metrics != nil {
+			return fmt.Errorf("harness: Metrics cannot observe worker processes on transport %q", c.transportName())
+		}
+		if c.Trace != nil {
+			return fmt.Errorf("harness: Trace cannot observe worker processes on transport %q", c.transportName())
+		}
+		if c.FlightRec != nil {
+			return fmt.Errorf("harness: a caller-supplied FlightRec cannot span worker processes on transport %q; set Flight/FlightOut for per-worker artifacts", c.transportName())
+		}
+	}
 	return nil
 }
 
@@ -396,14 +436,15 @@ func describeMetrics(reg *metrics.Registry) {
 // recordPlan captures an exchanger's compiled plan into the result and
 // mirrors its reuse counters into the registry (nil registry records
 // nothing).
-func recordPlan(res *Result, reg *metrics.Registry, im Impl, rank int, ex core.Exchanger) {
+func recordPlan(res *Result, reg *metrics.Registry, im Impl, rank int, tr string, ex core.Exchanger) {
 	sum := ex.Plan().Summary()
 	res.Plan = &sum
 	if reg == nil {
 		return
 	}
 	st := ex.Stats()
-	lb := metrics.Labels{"impl": im.String(), "rank": strconv.Itoa(rank), "variant": sum.Variant}
+	lb := metrics.Labels{"impl": im.String(), "rank": strconv.Itoa(rank),
+		"variant": sum.Variant, "transport": tr}
 	reg.Counter(metrics.PlansBuiltTotal, lb).Add(1)
 	reg.Counter(metrics.PlanStartsTotal, lb).Add(st.Starts)
 	reg.Counter(metrics.PlanStartBytesTotal, lb).Add(st.StartBytes)
@@ -432,6 +473,11 @@ func Run(cfg Config) (res Result, err error) {
 	inj, err := fault.Parse(cfg.Fault, cfg.FaultSeed)
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.supervised() {
+		// Workers re-parse the fault spec themselves; the parse above only
+		// front-loads syntax errors before any process spawns.
+		return runSupervised(cfg)
 	}
 	cfg.inj = inj
 	cfg.resolveFlight()
@@ -498,6 +544,7 @@ func flightDump(cfg Config, ae *mpi.AbortError, reason string) {
 		path = "brick-flight.bin"
 	}
 	snap := fr.Snapshot(reason, ae.Error(), pending)
+	snap.Transport = cfg.transportName()
 	if werr := snap.WriteFile(path); werr != nil {
 		fmt.Fprintf(os.Stderr, "harness: flight artifact write failed: %v\n", werr)
 	} else {
@@ -559,7 +606,8 @@ func rankBody(cfg Config, perRank []Result) func(*mpi.Comm) {
 			// replayed epoch stays counted, because those bytes really
 			// moved.
 			tr := c.TrafficSnapshot()
-			lb := metrics.Labels{"impl": cfg.Impl.String(), "rank": strconv.Itoa(c.Rank())}
+			lb := metrics.Labels{"impl": cfg.Impl.String(), "rank": strconv.Itoa(c.Rank()),
+				"transport": c.Transport()}
 			reg.Counter(metrics.MPISentMsgsTotal, lb).Add(tr.SentMsgs)
 			reg.Counter(metrics.MPISentBytesTotal, lb).Add(tr.SentBytes)
 			reg.Counter(metrics.MPIRecvMsgsTotal, lb).Add(tr.RecvMsgs)

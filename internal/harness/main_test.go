@@ -1,0 +1,15 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets this test binary double as a rank worker: the supervised
+// (cross-process shmem) tests spawn os.Executable(), which is the test
+// binary itself, and WorkerMain hijacks those spawned processes before any
+// test runs. In a normal `go test` process it detects nothing and returns.
+func TestMain(m *testing.M) {
+	WorkerMain()
+	os.Exit(m.Run())
+}

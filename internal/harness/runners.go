@@ -368,7 +368,7 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 			step(a, a-cfg.Warmup, true)
 		}
 	}
-	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), ex)
+	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), comm.Transport(), ex)
 	res.Checksum = checksumBricks(dec, bs, cur, cfg)
 	return res, nil
 }
@@ -543,8 +543,8 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 	}
 	// Both double-buffer exchangers count toward the plan-reuse metrics;
 	// the result keeps exs[0]'s summary (the two plans are identical).
-	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), exs[1])
-	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), exs[0])
+	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), comm.Transport(), exs[1])
+	recordPlan(&res, cfg.Metrics, cfg.Impl, comm.Rank(), comm.Transport(), exs[0])
 	res.Checksum = checksumGrid(gs[cur], cfg)
 	return res, nil
 }

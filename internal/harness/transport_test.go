@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/bricklab/brick/internal/flight"
+	"github.com/bricklab/brick/internal/metrics"
+	"github.com/bricklab/brick/internal/mpi"
+	"github.com/bricklab/brick/internal/trace"
+)
+
+// skipWithoutShmem skips tests that need a file-backed shared segment
+// (cross-process worlds are impossible on heap-backed fallback arenas).
+func skipWithoutShmem(t *testing.T) {
+	t.Helper()
+	w, err := mpi.NewWorldOn("shmem", 1)
+	if err != nil {
+		t.Skipf("shmem transport unavailable: %v", err)
+	}
+	defer w.Close()
+	if w.ShmemFile() == nil {
+		t.Skip("shmem arena fell back to the heap; cross-process worlds unavailable")
+	}
+}
+
+func supervisedConfig(im Impl) Config {
+	cfg := baseConfig(im)
+	cfg.Steps = 2
+	cfg.Transport = "shmem"
+	// A supervised bug must fail loud in CI, not hang eight processes.
+	cfg.Watchdog = 20 * time.Second
+	return cfg
+}
+
+// TestSupervisedParityAllImpls is the transport seam's acceptance gate:
+// every measured CPU implementation must produce a Float64bits-identical
+// checksum whether the eight ranks are goroutines of this process (chan)
+// or eight spawned worker processes over a shared segment (shmem).
+func TestSupervisedParityAllImpls(t *testing.T) {
+	skipWithoutShmem(t)
+	for _, im := range SoakImpls {
+		im := im
+		t.Run(im.String(), func(t *testing.T) {
+			chanCfg := supervisedConfig(im)
+			chanCfg.Transport = ""
+			cres, err := Run(chanCfg)
+			if err != nil {
+				t.Fatalf("chan run: %v", err)
+			}
+			sres, err := Run(supervisedConfig(im))
+			if err != nil {
+				t.Fatalf("shmem run: %v", err)
+			}
+			if math.Float64bits(cres.Checksum) != math.Float64bits(sres.Checksum) {
+				t.Fatalf("checksum diverged across transports: chan %v, shmem %v",
+					cres.Checksum, sres.Checksum)
+			}
+			if math.Abs(cres.Checksum) < 1e-9 {
+				t.Fatalf("degenerate checksum %v", cres.Checksum)
+			}
+			if sres.Calc.N() == 0 || sres.Comm.N() == 0 {
+				t.Fatalf("supervised result lost its summaries: calc n=%d comm n=%d",
+					sres.Calc.N(), sres.Comm.N())
+			}
+		})
+	}
+}
+
+// TestSupervisedMapfailDegrades: a mapfail fault inside one worker process
+// must degrade that rank's MemMap windows to copies without wedging its
+// peers' persistent receives in other processes — the cross-process form
+// of the degradation contract — and leave results bit-identical to a clean
+// in-process run.
+func TestSupervisedMapfailDegrades(t *testing.T) {
+	skipWithoutShmem(t)
+	clean := supervisedConfig(MemMap)
+	clean.Transport = ""
+	clean.Watchdog = 0
+	cres, err := Run(clean)
+	if err != nil {
+		t.Fatalf("clean chan run: %v", err)
+	}
+	faulted := supervisedConfig(MemMap)
+	faulted.Fault = "mapfail:rank=1"
+	fres, err := Run(faulted)
+	if err != nil {
+		t.Fatalf("shmem run with mapfail: %v", err)
+	}
+	if math.Float64bits(cres.Checksum) != math.Float64bits(fres.Checksum) {
+		t.Fatalf("mapfail degradation changed results: clean %v, degraded %v",
+			cres.Checksum, fres.Checksum)
+	}
+}
+
+// TestSupervisedAbortSurfaces: a panic inside one worker process must
+// abort the whole cross-process world — peers unwind instead of spinning
+// on the dead rank — and surface from Run as an error identifying the
+// abort, exactly like the in-process AbortError path.
+func TestSupervisedAbortSurfaces(t *testing.T) {
+	skipWithoutShmem(t)
+	cfg := supervisedConfig(Layout)
+	cfg.Fault = "panic:rank=3:step=1"
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("worker panic did not surface")
+	}
+	if !errors.Is(err, mpi.ErrAborted) {
+		t.Fatalf("error does not wrap mpi.ErrAborted: %v", err)
+	}
+}
+
+// TestSupervisedFlightArtifacts: a failed supervised run writes one
+// brick-flight/v1 artifact per worker, suffixed .rank<N>, each tagged with
+// the shmem transport in its header.
+func TestSupervisedFlightArtifacts(t *testing.T) {
+	skipWithoutShmem(t)
+	dir := t.TempDir()
+	cfg := supervisedConfig(Layout)
+	cfg.Fault = "panic:rank=2:step=1"
+	cfg.Flight = true
+	cfg.FlightOut = filepath.Join(dir, "soak-flight.bin")
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("faulted run succeeded")
+	}
+	found := 0
+	for r := 0; r < cfg.ranks(); r++ {
+		path := fmt.Sprintf("%s.rank%d", cfg.FlightOut, r)
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		snap, err := flight.ReadFile(path)
+		if err != nil {
+			t.Fatalf("rank %d artifact: %v", r, err)
+		}
+		if snap.Transport != "shmem" {
+			t.Fatalf("rank %d artifact transport = %q, want shmem", r, snap.Transport)
+		}
+		found++
+	}
+	if found == 0 {
+		t.Fatal("no per-worker flight artifacts written")
+	}
+}
+
+// TestSupervisedGates: the observability hooks that cannot span worker
+// processes are rejected up front with actionable errors, not silently
+// dropped.
+func TestSupervisedGates(t *testing.T) {
+	base := supervisedConfig(Layout)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"checkpoint", func(c *Config) { c.Checkpoint = true }},
+		{"gpu-impl", func(c *Config) { c.Impl = GPULayoutCA }},
+		{"metrics", func(c *Config) { c.Metrics = metrics.NewRegistry() }},
+		{"trace", func(c *Config) { c.Trace = trace.NewRecorder() }},
+		{"flightrec", func(c *Config) { c.FlightRec = flight.New(8, 0) }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted on a supervised transport", tc.name)
+		}
+	}
+	// The same hooks stay valid in-process.
+	cfg := base
+	cfg.Transport = ""
+	cfg.Metrics = metrics.NewRegistry()
+	cfg.Trace = trace.NewRecorder()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("in-process hooks rejected: %v", err)
+	}
+}
+
+// TestSupervisedUnknownTransport: a typo'd backend fails fast with the
+// registered names, before any process spawns.
+func TestSupervisedUnknownTransport(t *testing.T) {
+	cfg := supervisedConfig(Layout)
+	cfg.Transport = "rdma"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

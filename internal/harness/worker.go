@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/bricklab/brick/internal/core"
+	"github.com/bricklab/brick/internal/fault"
+	"github.com/bricklab/brick/internal/mpi"
+	"github.com/bricklab/brick/internal/mpi/proc"
+	"github.com/bricklab/brick/internal/netmodel"
+	"github.com/bricklab/brick/internal/stencil"
+)
+
+// wireConfig is the worker spec: the subset of Config a worker process
+// needs, with every field JSON-serializable. It is deliberately not
+// json.Marshal(Config) — Config carries live in-process objects (Metrics,
+// Trace, FlightRec) whose decoded zero-ish forms would silently differ
+// from nil (an empty `{}` registry is non-nil), and the supervised gates
+// in Validate guarantee they are nil anyway.
+type wireConfig struct {
+	Impl              Impl             `json:"impl"`
+	Transport         string           `json:"transport"`
+	Procs             [3]int           `json:"procs"`
+	Dom               [3]int           `json:"dom"`
+	Ghost             int              `json:"ghost"`
+	Shape             core.Shape       `json:"shape"`
+	Stencil           stencil.Stencil  `json:"stencil"`
+	Steps             int              `json:"steps"`
+	Warmup            int              `json:"warmup"`
+	Machine           netmodel.Machine `json:"machine"`
+	PageBytes         int              `json:"page_bytes"`
+	ExpandGhost       bool             `json:"expand_ghost"`
+	Workers           int              `json:"workers"`
+	DisablePersistent bool             `json:"disable_persistent"`
+	Partitioned       bool             `json:"partitioned"`
+	Fault             string           `json:"fault"`
+	FaultSeed         int64            `json:"fault_seed"`
+	Watchdog          time.Duration    `json:"watchdog"`
+	VerifyCRC         bool             `json:"verify_crc"`
+	Flight            bool             `json:"flight"`
+	FlightDepth       int              `json:"flight_depth"`
+	FlightOut         string           `json:"flight_out"`
+}
+
+func wireFrom(c Config) wireConfig {
+	return wireConfig{
+		Impl: c.Impl, Transport: c.transportName(), Procs: c.Procs, Dom: c.Dom,
+		Ghost: c.Ghost, Shape: c.Shape, Stencil: c.Stencil, Steps: c.Steps,
+		Warmup: c.Warmup, Machine: c.Machine, PageBytes: c.PageBytes,
+		ExpandGhost: c.ExpandGhost, Workers: c.Workers,
+		DisablePersistent: c.DisablePersistent, Partitioned: c.Partitioned,
+		Fault: c.Fault, FaultSeed: c.FaultSeed, Watchdog: c.Watchdog,
+		VerifyCRC: c.VerifyCRC, Flight: c.Flight, FlightDepth: c.FlightDepth,
+		FlightOut: c.FlightOut,
+	}
+}
+
+func (w wireConfig) config() Config {
+	return Config{
+		Impl: w.Impl, Transport: w.Transport, Procs: w.Procs, Dom: w.Dom,
+		Ghost: w.Ghost, Shape: w.Shape, Stencil: w.Stencil, Steps: w.Steps,
+		Warmup: w.Warmup, Machine: w.Machine, PageBytes: w.PageBytes,
+		ExpandGhost: w.ExpandGhost, Workers: w.Workers,
+		DisablePersistent: w.DisablePersistent, Partitioned: w.Partitioned,
+		Fault: w.Fault, FaultSeed: w.FaultSeed, Watchdog: w.Watchdog,
+		VerifyCRC: w.VerifyCRC, Flight: w.Flight, FlightDepth: w.FlightDepth,
+		FlightOut: w.FlightOut,
+	}
+}
+
+// runSupervised is Run's cross-process driver: it builds the shmem world,
+// spawns one worker process per rank (the worker binary is this executable
+// re-entered through WorkerMain), and aggregates the rank results their
+// envelopes carry. Worker failures — including world aborts — come back as
+// errors wrapping mpi.ErrAborted, mirroring the in-process AbortError path.
+func runSupervised(cfg Config) (Result, error) {
+	n := cfg.ranks()
+	w, err := mpi.NewWorldOn(cfg.transportName(), n)
+	if err != nil {
+		return Result{}, err
+	}
+	defer w.Close()
+	if w.ShmemFile() == nil {
+		return Result{}, fmt.Errorf("harness: transport %q has no mappable segment file; cross-process workers need shared memory", cfg.transportName())
+	}
+	spec, err := json.Marshal(wireFrom(cfg))
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: encoding worker spec: %w", err)
+	}
+	envs, err := proc.Run(w, spec, proc.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	perRank := make([]Result, n)
+	for _, e := range envs {
+		if e.Err != "" {
+			return Result{}, fmt.Errorf("%w: rank %d worker: %s", mpi.ErrAborted, e.Rank, e.Err)
+		}
+		if err := json.Unmarshal(e.Result, &perRank[e.Rank]); err != nil {
+			return Result{}, fmt.Errorf("harness: decoding rank %d result: %w", e.Rank, err)
+		}
+		// The worker stripped its Config copy from the envelope; restore the
+		// supervisor's, as the in-process runners would have recorded it.
+		perRank[e.Rank].Config = cfg
+	}
+	return aggregate(cfg, perRank), nil
+}
+
+// WorkerMain is the worker-process entrypoint of cross-process runs. Every
+// binary that may act as a rank worker — cmd/brickworker, the experiment
+// drivers, test binaries whose TestMain includes it — calls it first thing
+// in main: in a normal process it detects nothing and returns immediately;
+// in a spawned worker (proc.IsWorker) it attaches the inherited segment,
+// runs its one rank, reports the result envelope, and exits.
+//
+// A worker that gets as far as running its rank always exits 0 and carries
+// failures (world aborts included) inside the envelope; only a broken
+// contract — unreadable spec, unmappable segment — exits nonzero, which
+// the supervisor treats as a hard death.
+func WorkerMain() {
+	if !proc.IsWorker() {
+		return
+	}
+	wk, w, err := proc.Attach()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "brick worker: %v\n", err)
+		os.Exit(1)
+	}
+	defer w.Close()
+	var spec wireConfig
+	if err := json.Unmarshal(wk.Spec, &spec); err != nil {
+		fmt.Fprintf(os.Stderr, "brick worker: decoding spec: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := spec.config()
+	inj, err := fault.Parse(cfg.Fault, cfg.FaultSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "brick worker: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.inj = inj
+	if cfg.Flight {
+		// Each worker records and dumps its own rank's ring: artifacts land
+		// next to the configured path with a .rank<N> suffix so the ranks of
+		// one failed run do not clobber each other.
+		if cfg.FlightOut == "" {
+			cfg.FlightOut = "brick-flight.bin"
+		}
+		cfg.FlightOut = fmt.Sprintf("%s.rank%d", cfg.FlightOut, wk.Rank)
+	}
+	cfg.resolveFlight()
+	w.SetFault(cfg.inj)
+	w.SetWatchdog(cfg.Watchdog, nil)
+	w.SetVerifyCRC(cfg.VerifyCRC)
+	w.SetFlight(cfg.FlightRec)
+
+	perRank := make([]Result, cfg.ranks())
+	var runErr error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ae, ok := p.(*mpi.AbortError)
+				if !ok {
+					panic(p)
+				}
+				flightDump(cfg, ae, "")
+				runErr = ae
+			}
+		}()
+		w.RunRank(wk.Rank, rankBody(cfg, perRank))
+	}()
+	var payload any
+	if runErr == nil {
+		r := perRank[wk.Rank]
+		// The Config copy carries live pointers (the worker's own flight
+		// recorder) that must not ride the wire; the supervisor restores its
+		// own Config on the decoded result.
+		r.Config = Config{}
+		payload = r
+	}
+	if err := wk.Report(payload, runErr); err != nil {
+		fmt.Fprintf(os.Stderr, "brick worker: reporting result: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

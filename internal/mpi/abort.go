@@ -60,9 +60,7 @@ func (w *World) abort(rank int, v any) {
 		w.flight.Rank(rank).Record(flight.KindAbort, -1, -1, -1, 0, 0)
 		w.abortVal.Store(&AbortError{Rank: rank, Value: v})
 		close(w.abortCh)
-		w.bar.abortAll()
-		w.red.abortAll()
-		w.gather.abortAll()
+		w.tr.abortAll()
 	})
 }
 
@@ -76,6 +74,14 @@ func (w *World) Aborted() *AbortError { return w.abortVal.Load() }
 // Every abort path stores the cause before any rank starts unwinding, so
 // a rank unwinding from an abort always observes true here.
 func (c *Comm) Aborting() bool { return c.world.Aborted() != nil }
+
+// Kill aborts the world from outside any rank — the supervisor half of a
+// cross-process world uses it when a worker process dies without publishing
+// an abort (SIGKILL, OOM): the remaining workers' waits must unwind instead
+// of spinning on a peer that will never answer. The cause is attributed to
+// WatchdogRank, like a stall. Unlike Comm.Abort it does not panic: the
+// caller is a supervisor, not a rank.
+func (w *World) Kill(v any) { w.abort(WatchdogRank, v) }
 
 // Abort kills the whole world from one rank: every rank blocked in Wait,
 // Waitall, Barrier, or a reduction panics with the same *AbortError

@@ -77,7 +77,7 @@ func (b *barrier) reset() {
 // Barrier blocks until every rank has entered it, or panics with the
 // world's *AbortError if the world aborts first.
 func (c *Comm) Barrier() {
-	if c.world.bar.await() {
+	if c.world.tr.barrier(c.rank) {
 		panic(c.world.Aborted())
 	}
 	c.world.progressTick()
@@ -197,7 +197,7 @@ func (r *reducer) reset() {
 // the combined vector on every rank. All ranks must pass the same length.
 // Panics with the world's *AbortError if the world aborts mid-reduction.
 func (c *Comm) Allreduce(op Op, in []float64) []float64 {
-	out, aborted := c.world.red.allreduce(c.rank, op, in)
+	out, aborted := c.world.tr.allreduce(c.rank, op, in)
 	if aborted {
 		panic(c.world.Aborted())
 	}
@@ -294,7 +294,7 @@ func (g *gatherBuf) reset() {
 // per-rank vectors (indexed by rank); other ranks receive nil. Panics with
 // the world's *AbortError if the world aborts mid-gather.
 func (c *Comm) Gather(in []float64) [][]float64 {
-	out, aborted := c.world.gather.gather(c.rank, in)
+	out, aborted := c.world.tr.gather(c.rank, in)
 	if aborted {
 		panic(c.world.Aborted())
 	}

@@ -11,6 +11,11 @@
 // packing-based exchanges pay additional full copies that pack-free
 // exchanges avoid. Delivery performs exactly one copy, from the sender's
 // buffer into the posted receive buffer, mirroring RDMA placement.
+//
+// The wire mechanism is pluggable (see transport.go): the default "chan"
+// backend pairs ranks over in-process channels, and the "shmem" backend
+// moves the same protocol onto a shared-memory segment so ranks may live in
+// separate worker processes (see transport_shmem.go and docs/transports.md).
 package mpi
 
 import (
@@ -34,15 +39,17 @@ const (
 	AnyTag = -1
 )
 
-// World owns the ranks of one program run. All collective state (barrier,
-// reductions) lives here.
+// World owns the ranks of one program run. All collective and matching
+// state lives behind the transport seam (tr); the world keeps the
+// transport-agnostic machinery — abort, watchdog, fault injection, and the
+// observability hooks.
 type World struct {
-	size   int
-	boxes  []*inbox
-	bar    barrier
-	red    reducer
-	gather gatherBuf
-	pers   persistReg
+	size int
+	tr   Transport
+	// sprog is tr's shared-progress view when the backend has one (shmem);
+	// cached at construction so the per-operation tick skips the assertion.
+	sprog sharedProgress
+
 	rec    *trace.Recorder
 	reg    *metrics.Registry
 	flight *flight.Recorder
@@ -118,24 +125,44 @@ func newCommMetrics(reg *metrics.Registry, rank int) *commMetrics {
 	}
 }
 
-// NewWorld creates a world with the given number of ranks.
+// NewWorld creates a world with the given number of ranks on the default
+// ("chan") transport backend.
 func NewWorld(size int) *World {
-	if size <= 0 {
-		panic("mpi: world size must be positive")
+	w, err := NewWorldOn(DefaultTransport, size)
+	if err != nil {
+		panic(err)
 	}
-	w := &World{size: size, boxes: make([]*inbox, size), abortCh: make(chan struct{})}
-	for i := range w.boxes {
-		w.boxes[i] = newInbox()
-	}
-	w.bar.init(size)
-	w.red.init(size)
-	w.gather.init(size)
-	w.pers.init()
 	return w
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// newComm builds one rank's handle.
+func (w *World) newComm(rank int) *Comm {
+	c := &Comm{world: w, rank: rank, fl: w.flight.Rank(rank)}
+	if w.reg != nil {
+		c.m = newCommMetrics(w.reg, rank)
+	}
+	return c
+}
+
+// runRank executes body on one rank goroutine with the standard recover
+// protocol: a panic aborts the whole world unless this rank is a victim of
+// an abort already in flight.
+func (w *World) runRank(rank int, body func(*Comm)) {
+	defer func() {
+		if p := recover(); p != nil {
+			if ae, ok := p.(*AbortError); ok && ae == w.Aborted() {
+				// A victim: this rank was unblocked by the
+				// world-wide abort, not an originator.
+				return
+			}
+			w.abort(rank, p)
+		}
+	}()
+	body(w.newComm(rank))
+}
 
 // Run starts one goroutine per rank, invoking body with that rank's Comm,
 // and blocks until every rank returns. A panic in any rank aborts the
@@ -151,24 +178,29 @@ func (w *World) Run(body func(*Comm)) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					if ae, ok := p.(*AbortError); ok && ae == w.Aborted() {
-						// A victim: this rank was unblocked by the
-						// world-wide abort, not an originator.
-						return
-					}
-					w.abort(rank, p)
-				}
-			}()
-			c := &Comm{world: w, rank: rank, fl: w.flight.Rank(rank)}
-			if w.reg != nil {
-				c.m = newCommMetrics(w.reg, rank)
-			}
-			body(c)
+			w.runRank(rank, body)
 		}(r)
 	}
 	wg.Wait()
+	stopWatchdog()
+	if ae := w.Aborted(); ae != nil {
+		panic(ae)
+	}
+}
+
+// RunRank runs body for a single rank of the world on the calling
+// goroutine, with the same abort/recover protocol as Run. It is the worker
+// half of a cross-process world: each worker process attaches to the shared
+// segment and runs exactly one rank, while the supervisor (internal/mpi/
+// proc) owns the remaining lifecycle. Like Run it re-raises the world's
+// *AbortError once the rank has unwound, so a worker exits non-zero when
+// the world died.
+func (w *World) RunRank(rank int, body func(*Comm)) {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: RunRank rank %d out of range (size %d)", rank, w.size))
+	}
+	stopWatchdog := w.startWatchdog()
+	w.runRank(rank, body)
 	stopWatchdog()
 	if ae := w.Aborted(); ae != nil {
 		panic(ae)
@@ -199,6 +231,10 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
 
+// Transport returns the name of the backend the world runs on, for
+// metrics labels and diagnostics.
+func (c *Comm) Transport() string { return c.world.tr.name() }
+
 // Traffic is one rank's point-to-point traffic since the previous
 // TrafficSnapshot (or the start of the run). Sends are counted at Isend,
 // receives at Wait; payload float64s are 8 bytes each.
@@ -228,50 +264,21 @@ func (c *Comm) TrafficSnapshot() Traffic {
 // blocks until the transfer completed; for receives it then reports the
 // element count. Persistent requests are reusable: after Wait they return
 // to the inactive state and may be Started again.
+//
+// The request is transport-agnostic: the protocol — how completion is
+// signalled, where the payload moves — lives in op (a backend-provided
+// reqOp/persOp), while the request carries the generic identity
+// (owner, endpoints) and stamps trace/flight/metrics events around the
+// protocol calls.
 type Request struct {
-	done <-chan struct{}
-	post *posted // non-nil for receives; post.env is set before done closes
-	comm *Comm   // owner, for receive accounting at Wait
+	comm *Comm // owner, for accounting and abort checks
+	op   reqOp // backend protocol; implements persOp for persistent requests
 
-	pc    *pchan // non-nil for persistent requests (see persistent.go)
-	psend bool   // persistent direction: true = send endpoint
+	persistent bool // built by SendInit/RecvInit (reusable, Startable)
+	psend      bool // persistent direction: true = send endpoint
 
-	peer, tag int // endpoints for diagnostics (dst for sends, src for recvs)
-}
-
-// envelope is a send sitting in a destination inbox awaiting a matching
-// receive (or already matched, awaiting copy completion).
-type envelope struct {
-	src, tag int
-	data     []float64
-	done     chan struct{}
-	post     time.Time        // when Isend posted; zero unless m != nil
-	m        *commMetrics     // sender's metrics, nil when disabled
-	flips    []fault.ByteFlip // injected in-flight corruption, nil normally
-	seq      uint64           // sender's flight sequence stamp, 0 when unrecorded
-}
-
-// posted is a receive awaiting a matching send.
-type posted struct {
-	src, tag int
-	buf      []float64
-	done     chan struct{}
-	env      *envelope    // set at match time, before done is closed
-	post     time.Time    // when Irecv posted; zero unless m != nil
-	m        *commMetrics // receiver's metrics, nil when disabled
-}
-
-// inbox holds unmatched arrivals and unmatched posted receives for one rank.
-type inbox struct {
-	mu    sync.Mutex
-	sends []*envelope
-	recvs []*posted
-}
-
-func newInbox() *inbox { return &inbox{} }
-
-func matches(wantSrc, wantTag, src, tag int) bool {
-	return (wantSrc == AnySource || wantSrc == src) && (wantTag == AnyTag || wantTag == tag)
+	peer, tag int    // endpoints for diagnostics (dst for sends, src for recvs)
+	label     string // trace label for persistent Start, "" when tracing is off
 }
 
 // Isend starts a nonblocking send of buf to rank dst with the given tag.
@@ -296,25 +303,11 @@ func (c *Comm) Isend(dst, tag int, buf []float64) *Request {
 	if rec := c.world.rec; rec != nil {
 		rec.Begin(c.rank, trace.KindSend, fmt.Sprintf("send->%d tag=%d", dst, tag), dst, int64(8*len(buf)))()
 	}
-	env := &envelope{src: c.rank, tag: tag, data: buf, done: make(chan struct{}), flips: flips,
-		seq: c.fl.Send(int32(dst), int32(tag), -1, int64(8*len(buf)))}
+	seq := c.fl.Send(int32(dst), int32(tag), -1, int64(8*len(buf)))
 	if c.m != nil {
-		env.post, env.m = time.Now(), c.m
 		c.m.sendBytes.Observe(float64(8 * len(buf)))
 	}
-	box := c.world.boxes[dst]
-	box.mu.Lock()
-	for i, p := range box.recvs {
-		if matches(p.src, p.tag, env.src, env.tag) {
-			box.recvs = append(box.recvs[:i], box.recvs[i+1:]...)
-			box.mu.Unlock()
-			deliver(c.world, dst, env, p)
-			return &Request{done: env.done, comm: c, peer: dst, tag: tag}
-		}
-	}
-	box.sends = append(box.sends, env)
-	box.mu.Unlock()
-	return &Request{done: env.done, comm: c, peer: dst, tag: tag}
+	return c.world.tr.isend(c, dst, tag, buf, flips, seq)
 }
 
 // Irecv starts a nonblocking receive into buf from rank src (or AnySource)
@@ -328,63 +321,7 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 		rec.Begin(c.rank, trace.KindRecv, fmt.Sprintf("recv<-%d tag=%d", src, tag), src, int64(8*len(buf)))()
 	}
 	c.fl.RecvPost(int32(src), int32(tag), int64(8*len(buf)))
-	p := &posted{src: src, tag: tag, buf: buf, done: make(chan struct{})}
-	if c.m != nil {
-		p.post, p.m = time.Now(), c.m
-	}
-	box := c.world.boxes[c.rank]
-	box.mu.Lock()
-	for i, env := range box.sends {
-		if matches(src, tag, env.src, env.tag) {
-			box.sends = append(box.sends[:i], box.sends[i+1:]...)
-			box.mu.Unlock()
-			deliver(c.world, c.rank, env, p)
-			return &Request{done: p.done, post: p, comm: c, peer: src, tag: tag}
-		}
-	}
-	box.recvs = append(box.recvs, p)
-	box.mu.Unlock()
-	return &Request{done: p.done, post: p, comm: c, peer: src, tag: tag}
-}
-
-// deliver copies the payload and completes both sides. It runs on whichever
-// goroutine closed the match second, mirroring how real MPI progress engines
-// complete transfers on whichever process touches the channel last. dst is
-// the receiving rank, for corruption attribution.
-func deliver(w *World, dst int, env *envelope, p *posted) {
-	overflow := len(env.data) > len(p.buf)
-	if overflow {
-		// Truncate like MPI_ERR_TRUNCATE, but complete both sides first so
-		// peer ranks unblock, then abort the job via panic (propagated by
-		// World.Run).
-		env = &envelope{src: env.src, tag: env.tag, data: env.data[:len(p.buf)], done: env.done,
-			post: env.post, m: env.m, flips: env.flips, seq: env.seq}
-	}
-	copy(p.buf, env.data)
-	if env.flips != nil {
-		applyFlips(p.buf[:len(env.data)], env.flips)
-	}
-	corrupt := w.verifyCRC && crcFloats(env.data) != crcFloats(p.buf[:len(env.data)])
-	if env.m != nil {
-		env.m.sendSeconds.Observe(time.Since(env.post).Seconds())
-	}
-	if p.m != nil {
-		p.m.recvMatchWait.Observe(time.Since(p.post).Seconds())
-		p.m.recvBytes.Observe(float64(8 * len(env.data)))
-	}
-	w.flight.Rank(dst).Deliver(int32(env.src), int32(env.tag), -1, int64(8*len(env.data)), env.seq)
-	p.env = env
-	close(p.done)
-	close(env.done)
-	if overflow {
-		panic(fmt.Sprintf("mpi: message overflows receive buffer (src %d tag %d)", env.src, env.tag))
-	}
-	if corrupt {
-		// Complete both sides first so peers unblock, then kill the world:
-		// a CRC mismatch means the data is wrong everywhere downstream.
-		w.abort(dst, &CorruptionError{Src: env.src, Dst: dst, Tag: env.tag})
-		panic(w.Aborted())
-	}
+	return c.world.tr.irecv(c, src, tag, buf)
 }
 
 // Wait blocks until the request completes. For receives it returns the
@@ -393,15 +330,12 @@ func deliver(w *World, dst int, env *envelope, p *posted) {
 // aborts while Wait is blocked, Wait panics with the world's *AbortError
 // (recovered by World.Run) instead of hanging.
 func (r *Request) Wait() int {
-	if r.pc != nil {
-		return r.waitPersistent()
-	}
 	var m *commMetrics
 	var fl *flight.Ring
 	if r.comm != nil {
 		m = r.comm.m
 		fl = r.comm.fl
-		if rec := r.comm.world.rec; rec != nil {
+		if rec := r.comm.world.rec; rec != nil && !r.persistent {
 			end := rec.Begin(r.comm.rank, trace.KindWait, "wait", -1, 0)
 			defer end()
 		}
@@ -411,47 +345,11 @@ func (r *Request) Wait() int {
 		t0 = time.Now()
 	}
 	fl.Record(flight.KindWaitStart, int32(r.peer), int32(r.tag), -1, 0, 0)
-	r.block()
+	r.op.block(r)
 	fl.Record(flight.KindWaitDone, int32(r.peer), int32(r.tag), -1, 0, 0)
+	n := r.op.finish(r)
 	if m != nil {
 		m.waitSeconds.Observe(time.Since(t0).Seconds())
-	}
-	return r.finish()
-}
-
-// block parks until the request's transfer completed, or panics with the
-// world's *AbortError if the world aborts first. The fast path — already
-// complete — is a single non-blocking channel read.
-func (r *Request) block() {
-	select {
-	case <-r.done:
-		return
-	default:
-	}
-	if r.comm == nil {
-		<-r.done
-		return
-	}
-	select {
-	case <-r.done:
-	case <-r.comm.world.abortCh:
-		panic(r.comm.world.Aborted())
-	}
-}
-
-// finish performs post-completion bookkeeping: receive accounting and the
-// watchdog progress tick. Returns the received element count (0 for sends).
-func (r *Request) finish() int {
-	if r.comm != nil {
-		r.comm.world.progressTick()
-	}
-	if r.post == nil {
-		return 0 // send side
-	}
-	n := len(r.post.env.data)
-	if r.comm != nil {
-		r.comm.recvMsgs.Add(1)
-		r.comm.recvBytes.Add(int64(8 * n))
 	}
 	return n
 }
@@ -469,9 +367,11 @@ func Waitall(reqs []*Request) int {
 	return n
 }
 
-// Send is a blocking convenience wrapper: Isend + Wait. Because delivery is
-// rendezvous, Send blocks until the destination posts a matching receive;
-// post receives first in symmetric exchanges.
+// Send is a blocking convenience wrapper: Isend + Wait. On the chan
+// backend delivery is rendezvous, so Send blocks until the destination
+// posts a matching receive; post receives first in symmetric exchanges.
+// (The shmem backend is eager — Send returns once the payload is staged —
+// but portable callers should assume rendezvous.)
 func (c *Comm) Send(dst, tag int, buf []float64) { c.Isend(dst, tag, buf).Wait() }
 
 // Recv is a blocking convenience wrapper: Irecv + Wait. Returns the number

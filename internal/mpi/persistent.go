@@ -28,6 +28,11 @@ import (
 //
 // Persistent and one-shot traffic never cross-match: a persistent send is
 // invisible to Irecv and vice versa, even with equal tags.
+//
+// This file holds the transport-agnostic entry points (Comm.SendInit,
+// Request.Start/Pready/...) and the chan backend's pre-paired channel
+// implementation (pchan), which is the protocol op behind every persistent
+// request on that backend.
 
 // endpointKey identifies one directed persistent channel.
 type endpointKey struct {
@@ -44,23 +49,22 @@ type endpointKey struct {
 // the steady-state path allocates nothing.
 type pchan struct {
 	key endpointKey
+	reg *persistReg // owning registry, for Free
 
 	mu         sync.Mutex
 	sendBuf    []float64
 	recvBuf    []float64
-	sendActive bool          // send Started, not yet Waited
-	recvActive bool          // recv Started, not yet Waited
-	sendFired  bool          // send Started in the current cycle, cleared at delivery
-	recvFired  bool          // recv Started in the current cycle, cleared at delivery
-	sendStart  time.Time     // set at send Start when sender metrics enabled
-	sendDone   chan struct{} // cap 1: delivery token for the send side
-	recvDone   chan struct{} // cap 1: delivery token for the recv side
-	sendComm   *Comm         // nil until the send side registered
-	recvComm   *Comm         // nil until the recv side registered
-	sendFreed  bool          // send side called Free
-	recvFreed  bool          // recv side called Free
-	sendLabel  string
-	recvLabel  string
+	sendActive bool             // send Started, not yet Waited
+	recvActive bool             // recv Started, not yet Waited
+	sendFired  bool             // send Started in the current cycle, cleared at delivery
+	recvFired  bool             // recv Started in the current cycle, cleared at delivery
+	sendStart  time.Time        // set at send Start when sender metrics enabled
+	sendDone   chan struct{}    // cap 1: delivery token for the send side
+	recvDone   chan struct{}    // cap 1: delivery token for the recv side
+	sendComm   *Comm            // nil until the send side registered
+	recvComm   *Comm            // nil until the recv side registered
+	sendFreed  bool             // send side called Free
+	recvFreed  bool             // recv side called Free
 	flips      []fault.ByteFlip // injected corruption for the current cycle
 	seq        uint64           // sender's flight sequence stamp for the current cycle
 
@@ -78,15 +82,16 @@ type pchan struct {
 	narrived int
 }
 
-func newPchan(key endpointKey) *pchan {
-	return &pchan{key: key, sendDone: make(chan struct{}, 1), recvDone: make(chan struct{}, 1)}
+func newPchan(key endpointKey, reg *persistReg) *pchan {
+	return &pchan{key: key, reg: reg,
+		sendDone: make(chan struct{}, 1), recvDone: make(chan struct{}, 1)}
 }
 
-// persistReg is the world-level table of persistent endpoints: the pending
-// maps hold not-yet-matched endpoints, and all holds every live pchan
-// (matched or not) until both sides Free it — the watchdog scans it for
-// in-flight transfers and leak tests count it. It is touched only at plan
-// build/teardown time.
+// persistReg is the chan backend's table of persistent endpoints: the
+// pending maps hold not-yet-matched endpoints, and all holds every live
+// pchan (matched or not) until both sides Free it — the watchdog scans it
+// for in-flight transfers and leak tests count it. It is touched only at
+// plan build/teardown time.
 type persistReg struct {
 	mu    sync.Mutex
 	sends map[endpointKey][]*pchan
@@ -152,25 +157,11 @@ func (c *Comm) SendInit(dst, tag int, buf []float64) *Request {
 	if tag < 0 {
 		panic("mpi: send tag must be non-negative")
 	}
-	key := endpointKey{src: c.rank, dst: dst, tag: tag}
-	pr := &c.world.pers
-	pr.mu.Lock()
-	pc := pop(pr.recvs, key)
-	if pc == nil {
-		pc = newPchan(key)
-		pr.sends[key] = append(pr.sends[key], pc)
-		pr.all = append(pr.all, pc)
-	}
-	pr.mu.Unlock()
-	pc.mu.Lock()
-	pc.sendBuf = buf
-	pc.sendComm = c
+	r := c.world.tr.sendInit(c, dst, tag, buf)
 	if c.world.rec != nil {
-		pc.sendLabel = fmt.Sprintf("psend->%d tag=%d", dst, tag)
+		r.label = fmt.Sprintf("psend->%d tag=%d", dst, tag)
 	}
-	pc.checkSizesLocked()
-	pc.mu.Unlock()
-	return &Request{comm: c, pc: pc, psend: true}
+	return r
 }
 
 // RecvInit creates a persistent receive endpoint: every Start/Wait cycle
@@ -183,12 +174,39 @@ func (c *Comm) RecvInit(src, tag int, buf []float64) *Request {
 	if tag < 0 {
 		panic("mpi: RecvInit tag must be a concrete non-negative tag")
 	}
+	r := c.world.tr.recvInit(c, src, tag, buf)
+	if c.world.rec != nil {
+		r.label = fmt.Sprintf("precv<-%d tag=%d", src, tag)
+	}
+	return r
+}
+
+func (t *chanTransport) sendInit(c *Comm, dst, tag int, buf []float64) *Request {
+	key := endpointKey{src: c.rank, dst: dst, tag: tag}
+	pr := &t.pers
+	pr.mu.Lock()
+	pc := pop(pr.recvs, key)
+	if pc == nil {
+		pc = newPchan(key, pr)
+		pr.sends[key] = append(pr.sends[key], pc)
+		pr.all = append(pr.all, pc)
+	}
+	pr.mu.Unlock()
+	pc.mu.Lock()
+	pc.sendBuf = buf
+	pc.sendComm = c
+	pc.checkSizesLocked()
+	pc.mu.Unlock()
+	return &Request{comm: c, op: pc, persistent: true, psend: true, peer: dst, tag: tag}
+}
+
+func (t *chanTransport) recvInit(c *Comm, src, tag int, buf []float64) *Request {
 	key := endpointKey{src: src, dst: c.rank, tag: tag}
-	pr := &c.world.pers
+	pr := &t.pers
 	pr.mu.Lock()
 	pc := pop(pr.sends, key)
 	if pc == nil {
-		pc = newPchan(key)
+		pc = newPchan(key, pr)
 		pr.recvs[key] = append(pr.recvs[key], pc)
 		pr.all = append(pr.all, pc)
 	}
@@ -196,12 +214,9 @@ func (c *Comm) RecvInit(src, tag int, buf []float64) *Request {
 	pc.mu.Lock()
 	pc.recvBuf = buf
 	pc.recvComm = c
-	if c.world.rec != nil {
-		pc.recvLabel = fmt.Sprintf("precv<-%d tag=%d", src, tag)
-	}
 	pc.checkSizesLocked()
 	pc.mu.Unlock()
-	return &Request{comm: c, pc: pc, psend: false}
+	return &Request{comm: c, op: pc, persistent: true, psend: false, peer: src, tag: tag}
 }
 
 // PsendInit creates a partitioned persistent send endpoint (the
@@ -229,13 +244,7 @@ func (c *Comm) PsendInit(dst, tag int, buf []float64, bounds []int) *Request {
 		}
 	}
 	r := c.SendInit(dst, tag, buf)
-	p := len(bounds) - 1
-	pc := r.pc
-	pc.mu.Lock()
-	pc.bounds = append([]int(nil), bounds...)
-	pc.ready = make([]bool, p)
-	pc.arrived = make([]bool, p)
-	pc.mu.Unlock()
+	r.op.(persOp).partition(r, bounds)
 	return r
 }
 
@@ -340,26 +349,167 @@ func (pc *pchan) deliverReadyLocked() error {
 // be inactive: starting again before Wait panics (as in MPI). Data becomes
 // visible in the receive buffer only after the receiver's Wait returns.
 func (r *Request) Start() {
-	pc := r.pc
-	if pc == nil {
+	op, ok := r.op.(persOp)
+	if !ok {
 		panic("mpi: Start on a non-persistent request")
 	}
 	c := r.comm
 	if r.psend {
+		n := op.elems(r)
 		if f := c.world.fault; f != nil {
 			if d := f.SendDelay(c.rank); d > 0 {
 				time.Sleep(d)
 			}
 		}
 		c.sentMsgs.Add(1)
-		c.sentBytes.Add(int64(8 * len(pc.sendBuf)))
+		c.sentBytes.Add(int64(8 * n))
 		if m := c.m; m != nil {
-			m.sendBytes.Observe(float64(8 * len(pc.sendBuf)))
+			m.sendBytes.Observe(float64(8 * n))
 		}
 		if rec := c.world.rec; rec != nil {
-			rec.Begin(c.rank, trace.KindSend, pc.sendLabel, pc.key.dst, int64(8*len(pc.sendBuf)))()
+			rec.Begin(c.rank, trace.KindSend, r.label, r.peer, int64(8*n))()
 		}
-		seq := c.fl.Send(int32(pc.key.dst), int32(pc.key.tag), -1, int64(8*len(pc.sendBuf)))
+		seq := c.fl.Send(int32(r.peer), int32(r.tag), -1, int64(8*n))
+		var flips []fault.ByteFlip
+		if f := c.world.fault; f != nil {
+			flips = f.CorruptSend(c.rank, n)
+		}
+		op.start(r, seq, flips)
+		return
+	}
+	n := op.elems(r)
+	if rec := c.world.rec; rec != nil {
+		rec.Begin(c.rank, trace.KindRecv, r.label, r.peer, int64(8*n))()
+	}
+	c.fl.RecvPost(int32(r.peer), int32(r.tag), int64(8*n))
+	op.start(r, 0, nil)
+}
+
+// Pready declares partition i of an active partitioned send ready for
+// transfer (MPI_Pready): its payload may move to the receiver immediately —
+// while sibling partitions are still being computed — and the sender must
+// not touch the partition's span again until Wait returns. Panics on a
+// non-partitioned request, before Start, or if the partition was already
+// marked ready this cycle. Safe to call concurrently from different
+// goroutines (worker tiles) on different partitions.
+func (r *Request) Pready(i int) { r.PreadyRange(i, i+1) }
+
+// PreadyRange marks partitions [lo, hi) ready (MPI_Pready_range).
+func (r *Request) PreadyRange(lo, hi int) {
+	op, ok := r.op.(persOp)
+	if !ok || !r.psend {
+		panic("mpi: Pready on a non-persistent or receive request")
+	}
+	op.preadyRange(r, lo, hi)
+}
+
+// PreadyAll marks every partition of the active cycle ready at once — the
+// prologue form for data that is already fully computed.
+func (r *Request) PreadyAll() {
+	if op, ok := r.op.(persOp); ok && r.psend {
+		if p := op.partitions(r); p > 0 {
+			r.PreadyRange(0, p)
+			return
+		}
+	}
+	panic("mpi: PreadyAll on a non-partitioned request")
+}
+
+// Parrived reports whether partition i of the current receive cycle has
+// been delivered (MPI_Parrived). It is a non-blocking poll: callers may
+// consume the partition's span of the receive buffer as soon as it returns
+// true, but the request still requires Wait to finish the cycle. Panics on
+// a send request or when no partitioned sender has matched.
+func (r *Request) Parrived(i int) bool {
+	op, ok := r.op.(persOp)
+	if !ok || r.psend {
+		panic("mpi: Parrived on a non-persistent or send request")
+	}
+	return op.parrived(r, i)
+}
+
+// Partitions returns the partition count of the matched channel (0 for an
+// unpartitioned persistent request).
+func (r *Request) Partitions() int {
+	op, ok := r.op.(persOp)
+	if !ok {
+		return 0
+	}
+	return op.partitions(r)
+}
+
+// Startall starts every request in the slice (MPI_Startall). Nil entries
+// are skipped.
+func Startall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Start()
+		}
+	}
+}
+
+// Rebind swaps the buffer behind an inactive persistent request, keeping
+// the matched channel and its (src, dst, tag) identity. The peer is
+// unaffected — the wire format is the flat []float64 payload either way —
+// which is what lets a degraded exchanger substitute a copy-window buffer
+// for a mapped view mid-run without renegotiating the plan. Panics on a
+// non-persistent request, on an active (Started, un-Waited) request, or if
+// the new buffer breaks send/recv size compatibility.
+func (r *Request) Rebind(buf []float64) {
+	op, ok := r.op.(persOp)
+	if !ok {
+		panic("mpi: Rebind on a non-persistent request")
+	}
+	op.rebind(r, buf)
+}
+
+// Free tears down a persistent endpoint. An endpoint whose peer never
+// registered is removed from the pending table — so a later plan may reuse
+// its (src, dst, tag) triple without cross-matching stale state — and from
+// the live list immediately. A matched endpoint stays live until the OTHER
+// side frees too (the peer still holds the shared channel), at which point
+// the channel leaves the live list; this is what keeps
+// World.PersistentPending honest for leak tests.
+//
+// Free retracts any Start of this side that has not yet been delivered and
+// drops the buffer reference. In a fault-free run that is a no-op (Wait
+// precedes teardown, and Wait only returns after delivery), but a rank
+// unwinding from an abort Frees endpoints whose cycle never completed —
+// and may munmap the backing arena (MemMap storage) immediately after.
+// Without the retraction a surviving peer that Starts next would observe
+// the stale fired flag and copy from/into the unmapped pages, a fatal
+// SIGSEGV no recover can catch. After the retraction the peer sees no
+// pending delivery, blocks in Wait, and leaves through the abort channel.
+// The channel lock serializes Free against a delivery already copying, so
+// the unmap cannot land mid-copy either. Calling Free twice on the same
+// request is a no-op.
+func (r *Request) Free() {
+	if op, ok := r.op.(persOp); ok {
+		op.free(r)
+	}
+}
+
+// pchan as the chan backend's persOp.
+
+func (pc *pchan) elems(r *Request) int {
+	if r.psend {
+		return len(pc.sendBuf)
+	}
+	return len(pc.recvBuf)
+}
+
+func (pc *pchan) partition(r *Request, bounds []int) {
+	p := len(bounds) - 1
+	pc.mu.Lock()
+	pc.bounds = append([]int(nil), bounds...)
+	pc.ready = make([]bool, p)
+	pc.arrived = make([]bool, p)
+	pc.mu.Unlock()
+}
+
+func (pc *pchan) start(r *Request, seq uint64, flips []fault.ByteFlip) {
+	c := r.comm
+	if r.psend {
 		pc.mu.Lock()
 		if pc.sendActive {
 			pc.mu.Unlock()
@@ -367,9 +517,7 @@ func (r *Request) Start() {
 		}
 		pc.sendActive, pc.sendFired = true, true
 		pc.seq = seq
-		if f := c.world.fault; f != nil {
-			pc.flips = f.CorruptSend(c.rank, len(pc.sendBuf))
-		}
+		pc.flips = flips
 		if c.m != nil {
 			pc.sendStart = time.Now()
 		}
@@ -391,10 +539,6 @@ func (r *Request) Start() {
 		}
 		return
 	}
-	if rec := c.world.rec; rec != nil {
-		rec.Begin(c.rank, trace.KindRecv, pc.recvLabel, pc.key.src, int64(8*len(pc.recvBuf)))()
-	}
-	c.fl.RecvPost(int32(pc.key.src), int32(pc.key.tag), int64(8*len(pc.recvBuf)))
 	pc.mu.Lock()
 	if pc.recvActive {
 		pc.mu.Unlock()
@@ -422,21 +566,7 @@ func (r *Request) Start() {
 	}
 }
 
-// Pready declares partition i of an active partitioned send ready for
-// transfer (MPI_Pready): its payload may move to the receiver immediately —
-// while sibling partitions are still being computed — and the sender must
-// not touch the partition's span again until Wait returns. Panics on a
-// non-partitioned request, before Start, or if the partition was already
-// marked ready this cycle. Safe to call concurrently from different
-// goroutines (worker tiles) on different partitions.
-func (r *Request) Pready(i int) { r.PreadyRange(i, i+1) }
-
-// PreadyRange marks partitions [lo, hi) ready (MPI_Pready_range).
-func (r *Request) PreadyRange(lo, hi int) {
-	pc := r.pc
-	if pc == nil || !r.psend {
-		panic("mpi: Pready on a non-persistent or receive request")
-	}
+func (pc *pchan) preadyRange(r *Request, lo, hi int) {
 	c := r.comm
 	pc.mu.Lock()
 	if pc.bounds == nil {
@@ -477,26 +607,7 @@ func (r *Request) PreadyRange(lo, hi int) {
 	}
 }
 
-// PreadyAll marks every partition of the active cycle ready at once — the
-// prologue form for data that is already fully computed.
-func (r *Request) PreadyAll() {
-	if pc := r.pc; pc != nil && r.psend && pc.bounds != nil {
-		r.PreadyRange(0, len(pc.bounds)-1)
-		return
-	}
-	panic("mpi: PreadyAll on a non-partitioned request")
-}
-
-// Parrived reports whether partition i of the current receive cycle has
-// been delivered (MPI_Parrived). It is a non-blocking poll: callers may
-// consume the partition's span of the receive buffer as soon as it returns
-// true, but the request still requires Wait to finish the cycle. Panics on
-// a send request or when no partitioned sender has matched.
-func (r *Request) Parrived(i int) bool {
-	pc := r.pc
-	if pc == nil || r.psend {
-		panic("mpi: Parrived on a non-persistent or send request")
-	}
+func (pc *pchan) parrived(r *Request, i int) bool {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.bounds == nil {
@@ -508,13 +619,7 @@ func (r *Request) Parrived(i int) bool {
 	return pc.arrived[i]
 }
 
-// Partitions returns the partition count of the matched channel (0 for an
-// unpartitioned persistent request).
-func (r *Request) Partitions() int {
-	pc := r.pc
-	if pc == nil {
-		return 0
-	}
+func (pc *pchan) partitions(*Request) int {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.bounds == nil {
@@ -523,66 +628,55 @@ func (r *Request) Partitions() int {
 	return len(pc.bounds) - 1
 }
 
-// Startall starts every request in the slice (MPI_Startall). Nil entries
-// are skipped.
-func Startall(reqs []*Request) {
-	for _, r := range reqs {
-		if r != nil {
-			r.Start()
-		}
+// token returns the given side's completion-token channel.
+func (pc *pchan) token(psend bool) chan struct{} {
+	if psend {
+		return pc.sendDone
 	}
+	return pc.recvDone
 }
 
-// token returns this side's completion-token channel.
-func (r *Request) token() chan struct{} {
-	if r.psend {
-		return r.pc.sendDone
-	}
-	return r.pc.recvDone
-}
-
-// waitPersistent completes one Start cycle: consume this side's completion
-// token, return the request to the inactive state, and on the receive side
-// account the delivered payload. If the world aborts first, it panics with
-// the *AbortError. The fast path — token already released — is a single
-// non-blocking channel read.
-func (r *Request) waitPersistent() int {
-	c := r.comm
-	var t0 time.Time
-	m := c.m
-	if m != nil {
-		t0 = time.Now()
-	}
-	peer, tag := int32(r.pc.key.src), int32(r.pc.key.tag)
-	if r.psend {
-		peer = int32(r.pc.key.dst)
-	}
-	c.fl.Record(flight.KindWaitStart, peer, tag, -1, 0, 0)
-	tok := r.token()
+// block consumes this side's completion token: the fast path — token
+// already released — is a single non-blocking channel read.
+func (pc *pchan) block(r *Request) {
+	tok := pc.token(r.psend)
 	select {
 	case <-tok:
+		return
 	default:
-		select {
-		case <-tok:
-		case <-c.world.abortCh:
-			panic(c.world.Aborted())
-		}
 	}
-	c.fl.Record(flight.KindWaitDone, peer, tag, -1, 0, 0)
-	n := r.finishPersistent()
-	if m != nil {
-		m.waitSeconds.Observe(time.Since(t0).Seconds())
+	select {
+	case <-tok:
+	case <-r.comm.world.abortCh:
+		panic(r.comm.world.Aborted())
 	}
-	return n
 }
 
-// finishPersistent runs after this side's token was consumed: deactivate,
-// tick progress, and on the receive side account the delivered payload.
-func (r *Request) finishPersistent() int {
+func (pc *pchan) blockTimeout(r *Request, d time.Duration) error {
+	tok := pc.token(r.psend)
+	select {
+	case <-tok:
+		return nil
+	default:
+	}
+	w := r.comm.world
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-tok:
+		return nil
+	case <-w.abortCh:
+		return w.Aborted()
+	case <-t.C:
+		return &TimeoutError{After: d, Op: pc.opName(r)}
+	}
+}
+
+// finish runs after this side's token was consumed: deactivate, tick
+// progress, and on the receive side account the delivered payload.
+func (pc *pchan) finish(r *Request) int {
 	c := r.comm
-	pc := r.pc
 	c.world.progressTick()
-	var n int
 	if r.psend {
 		pc.mu.Lock()
 		pc.sendActive = false
@@ -591,7 +685,7 @@ func (r *Request) finishPersistent() int {
 	}
 	pc.mu.Lock()
 	pc.recvActive = false
-	n = len(pc.sendBuf)
+	n := len(pc.sendBuf)
 	pc.mu.Unlock()
 	c.recvMsgs.Add(1)
 	c.recvBytes.Add(int64(8 * n))
@@ -601,18 +695,14 @@ func (r *Request) finishPersistent() int {
 	return n
 }
 
-// Rebind swaps the buffer behind an inactive persistent request, keeping
-// the matched channel and its (src, dst, tag) identity. The peer is
-// unaffected — the wire format is the flat []float64 payload either way —
-// which is what lets a degraded exchanger substitute a copy-window buffer
-// for a mapped view mid-run without renegotiating the plan. Panics on a
-// non-persistent request, on an active (Started, un-Waited) request, or if
-// the new buffer breaks send/recv size compatibility.
-func (r *Request) Rebind(buf []float64) {
-	pc := r.pc
-	if pc == nil {
-		panic("mpi: Rebind on a non-persistent request")
+func (pc *pchan) opName(r *Request) string {
+	if r.psend {
+		return fmt.Sprintf("wait psend dst=%d tag=%d", pc.key.dst, pc.key.tag)
 	}
+	return fmt.Sprintf("wait precv src=%d tag=%d", pc.key.src, pc.key.tag)
+}
+
+func (pc *pchan) rebind(r *Request, buf []float64) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if r.psend {
@@ -629,49 +719,27 @@ func (r *Request) Rebind(buf []float64) {
 	pc.checkSizesLocked()
 }
 
-// Free tears down a persistent endpoint. An endpoint whose peer never
-// registered is removed from the pending table — so a later plan may reuse
-// its (src, dst, tag) triple without cross-matching stale state — and from
-// the live list immediately. A matched endpoint stays live until the OTHER
-// side frees too (the peer still holds the shared channel), at which point
-// the channel leaves the live list; this is what keeps
-// World.PersistentPending honest for leak tests.
-//
-// Free retracts any Start of this side that has not yet been delivered and
-// drops the buffer reference. In a fault-free run that is a no-op (Wait
-// precedes teardown, and Wait only returns after delivery), but a rank
-// unwinding from an abort Frees endpoints whose cycle never completed —
-// and may munmap the backing arena (MemMap storage) immediately after.
-// Without the retraction a surviving peer that Starts next would observe
-// the stale fired flag and copy from/into the unmapped pages, a fatal
-// SIGSEGV no recover can catch. After the retraction the peer sees no
-// pending delivery, blocks in Wait, and leaves through the abort channel.
-// pc.mu serializes Free against a delivery already copying, so the unmap
-// cannot land mid-copy either. Calling Free twice on the same request is
-// a no-op.
-func (r *Request) Free() {
-	pc := r.pc
-	if pc == nil {
-		return
-	}
-	pr := &r.comm.world.pers
+func (pc *pchan) free(r *Request) {
+	pr := pc.reg
 	pr.mu.Lock()
 	pc.mu.Lock()
-	var matched bool
+	var matched, freed bool
 	if r.psend {
+		freed = pc.sendFreed
 		pc.sendFreed = true
 		matched = pc.recvComm != nil
 		pc.sendFired = false
 		pc.sendBuf = nil
 	} else {
+		freed = pc.recvFreed
 		pc.recvFreed = true
 		matched = pc.sendComm != nil
 		pc.recvFired = false
 		pc.recvBuf = nil
 	}
-	gone := !matched || (pc.sendFreed && pc.recvFreed)
+	gone := !freed && (!matched || (pc.sendFreed && pc.recvFreed))
 	pc.mu.Unlock()
-	if !matched {
+	if !matched && !freed {
 		if r.psend {
 			remove(pr.sends, pc.key, pc)
 		} else {
@@ -682,7 +750,6 @@ func (r *Request) Free() {
 		pr.dropLocked(pc)
 	}
 	pr.mu.Unlock()
-	r.pc = nil
 }
 
 // PersistentPending reports the persistent-endpoint population: unmatched
@@ -692,14 +759,5 @@ func (r *Request) Free() {
 // every rank is closed, both should be zero; leak tests assert exactly
 // that.
 func (w *World) PersistentPending() (unmatched, live int) {
-	pr := &w.pers
-	pr.mu.Lock()
-	defer pr.mu.Unlock()
-	for _, list := range pr.sends {
-		unmatched += len(list)
-	}
-	for _, list := range pr.recvs {
-		unmatched += len(list)
-	}
-	return unmatched, len(pr.all)
+	return w.tr.persistentPending()
 }

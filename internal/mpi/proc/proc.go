@@ -1,0 +1,305 @@
+// Package proc runs a shmem mpi world across processes: a supervisor
+// creates the world (and its shared-memory segment), spawns one worker
+// process per rank with the segment fd inherited, and collects each
+// worker's JSON result envelope; a worker recognizes itself by environment,
+// attaches to the segment, runs exactly one rank, and reports back through
+// a result file.
+//
+// The contract between the halves is deliberately small:
+//
+//   - fd 3 is the segment file (os/exec ExtraFiles order).
+//   - BRICK_WORKER_RANK is the rank this process runs.
+//   - BRICK_WORKER_SPEC is the path of a file holding the caller's opaque
+//     spec bytes (typically a JSON-encoded run configuration).
+//   - BRICK_WORKER_RESULT is the path the worker writes its Envelope to.
+//   - BRICK_WORKER_BIN optionally overrides the worker binary the
+//     supervisor spawns (default: the supervisor's own executable, which
+//     must call the worker hook — harness.WorkerMain — early in main).
+//   - BRICK_WORKER_LOGS optionally names the directory for per-rank
+//     worker logs (default: a temp dir that is removed on success).
+//
+// A worker that reaches its body always exits 0 and carries failures —
+// including world aborts — inside the envelope's Err field; a nonzero exit
+// therefore means the process died hard (panic outside the protocol,
+// SIGKILL, OOM), and the supervisor kills the world so surviving workers
+// unwind instead of spinning on a dead peer.
+package proc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/bricklab/brick/internal/mpi"
+)
+
+// Environment variable names of the worker contract.
+const (
+	EnvRank   = "BRICK_WORKER_RANK"
+	EnvSpec   = "BRICK_WORKER_SPEC"
+	EnvResult = "BRICK_WORKER_RESULT"
+	EnvBin    = "BRICK_WORKER_BIN"
+	EnvLogs   = "BRICK_WORKER_LOGS"
+)
+
+// segmentFD is the inherited segment file descriptor: the first
+// ExtraFiles entry after stdin/stdout/stderr.
+const segmentFD = 3
+
+// IsWorker reports whether this process was spawned as a rank worker.
+// Binaries that can host workers call it (via harness.WorkerMain) at the
+// top of main, before flag parsing.
+func IsWorker() bool { return os.Getenv(EnvRank) != "" }
+
+// Worker is the worker-side half of the contract, returned by Attach.
+type Worker struct {
+	// Rank is the single rank this process runs.
+	Rank int
+	// Spec holds the supervisor's opaque spec bytes.
+	Spec []byte
+
+	resultPath string
+}
+
+// Envelope is one worker's result, written to its result file and
+// collected by the supervisor. Err carries the rank's failure — including
+// a world abort — as a rendered string; Result the caller's payload.
+type Envelope struct {
+	Rank   int             `json:"rank"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Err    string          `json:"err,omitempty"`
+}
+
+// Attach joins this worker process to its world: it reads the contract
+// from the environment, maps the inherited segment, and returns the worker
+// descriptor plus the attached world. The caller runs its rank with
+// World.RunRank and finishes with Worker.Report.
+func Attach() (*Worker, *mpi.World, error) {
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return nil, nil, fmt.Errorf("proc: bad %s %q: %v", EnvRank, os.Getenv(EnvRank), err)
+	}
+	resultPath := os.Getenv(EnvResult)
+	if resultPath == "" {
+		return nil, nil, fmt.Errorf("proc: %s not set", EnvResult)
+	}
+	spec, err := os.ReadFile(os.Getenv(EnvSpec))
+	if err != nil {
+		return nil, nil, fmt.Errorf("proc: reading spec: %w", err)
+	}
+	seg := os.NewFile(segmentFD, "brick-shmem-segment")
+	if seg == nil {
+		return nil, nil, fmt.Errorf("proc: segment fd %d not inherited", segmentFD)
+	}
+	w, err := mpi.AttachShmemWorld(seg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rank < 0 || rank >= w.Size() {
+		w.Close()
+		return nil, nil, fmt.Errorf("proc: rank %d out of range (world size %d)", rank, w.Size())
+	}
+	return &Worker{Rank: rank, Spec: spec, resultPath: resultPath}, w, nil
+}
+
+// Report writes the worker's envelope: result is JSON-encoded (nil leaves
+// Result empty) and runErr, when non-nil, is rendered into Err. The write
+// is atomic (temp file + rename) so the supervisor never reads a torn
+// envelope from a worker killed mid-write.
+func (wk *Worker) Report(result any, runErr error) error {
+	env := Envelope{Rank: wk.Rank}
+	if result != nil {
+		b, err := json.Marshal(result)
+		if err != nil {
+			return fmt.Errorf("proc: encoding rank %d result: %w", wk.Rank, err)
+		}
+		env.Result = b
+	}
+	if runErr != nil {
+		env.Err = runErr.Error()
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("proc: encoding rank %d envelope: %w", wk.Rank, err)
+	}
+	tmp := wk.resultPath + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, wk.resultPath)
+}
+
+// Options configures the supervisor's spawn.
+type Options struct {
+	// Bin is the worker executable; empty resolves EnvBin, then the
+	// supervisor's own executable.
+	Bin string
+	// LogDir receives per-rank worker logs (rank<N>.log, combined
+	// stdout+stderr); empty resolves EnvLogs, then a temp dir removed when
+	// every worker exits cleanly and kept (with a notice) otherwise.
+	LogDir string
+}
+
+// Run spawns one worker process per rank of w (a shmem world created by
+// the supervisor), passes each the spec bytes, and waits for all of them.
+// It returns every worker's envelope, ascending by rank.
+//
+// Failure handling is two-level. A worker that exits nonzero or vanishes
+// without an envelope died hard: Run kills the world — releasing the
+// surviving workers' cross-process waits — waits for the rest, and returns
+// an error carrying the dead worker's log tail. Workers that report
+// protocol-level failures (world aborts) exit zero; those failures come
+// back inside the envelopes for the caller to interpret.
+func Run(w *mpi.World, spec []byte, opt Options) ([]Envelope, error) {
+	seg := w.ShmemFile()
+	if seg == nil {
+		return nil, fmt.Errorf("proc: world is not a mappable shmem world (transport %s)", w.Transport())
+	}
+	bin := opt.Bin
+	if bin == "" {
+		bin = os.Getenv(EnvBin)
+	}
+	if bin == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("proc: resolving worker binary: %w", err)
+		}
+		bin = exe
+	}
+	logDir, logDirOwned := opt.LogDir, false
+	if logDir == "" {
+		logDir = os.Getenv(EnvLogs)
+	}
+	if logDir == "" {
+		d, err := os.MkdirTemp("", "brick-workers-*")
+		if err != nil {
+			return nil, fmt.Errorf("proc: log dir: %w", err)
+		}
+		logDir, logDirOwned = d, true
+	} else if err := os.MkdirAll(logDir, 0o755); err != nil {
+		return nil, fmt.Errorf("proc: log dir: %w", err)
+	}
+	workDir, err := os.MkdirTemp("", "brick-proc-*")
+	if err != nil {
+		return nil, fmt.Errorf("proc: work dir: %w", err)
+	}
+	defer os.RemoveAll(workDir)
+	specPath := filepath.Join(workDir, "spec.json")
+	if err := os.WriteFile(specPath, spec, 0o644); err != nil {
+		return nil, fmt.Errorf("proc: writing spec: %w", err)
+	}
+
+	size := w.Size()
+	type outcome struct {
+		rank int
+		err  error // hard death only
+	}
+	cmds := make([]*exec.Cmd, size)
+	logs := make([]*os.File, size)
+	resPaths := make([]string, size)
+	for r := 0; r < size; r++ {
+		resPaths[r] = filepath.Join(workDir, fmt.Sprintf("rank%d.json", r))
+		lf, err := os.Create(filepath.Join(logDir, fmt.Sprintf("rank%d.log", r)))
+		if err != nil {
+			return nil, fmt.Errorf("proc: rank %d log: %w", r, err)
+		}
+		logs[r] = lf
+		cmd := exec.Command(bin)
+		cmd.Env = append(os.Environ(),
+			EnvRank+"="+strconv.Itoa(r),
+			EnvSpec+"="+specPath,
+			EnvResult+"="+resPaths[r],
+		)
+		cmd.Stdout, cmd.Stderr = lf, lf
+		cmd.ExtraFiles = []*os.File{seg}
+		cmds[r] = cmd
+	}
+	done := make(chan outcome, size)
+	started := 0
+	var firstErr error
+	for r := 0; r < size; r++ {
+		if err := cmds[r].Start(); err != nil {
+			firstErr = fmt.Errorf("proc: spawning rank %d worker: %w", r, err)
+			break
+		}
+		started++
+		go func(r int) {
+			done <- outcome{rank: r, err: cmds[r].Wait()}
+		}(r)
+	}
+	if firstErr != nil {
+		// Some workers are already running against a world that will never
+		// be complete; kill it so they unwind, then reap them.
+		w.Kill(firstErr)
+	}
+
+	var hardDeaths []outcome
+	for i := 0; i < started; i++ {
+		oc := <-done
+		if oc.err == nil {
+			continue
+		}
+		if len(hardDeaths) == 0 {
+			// First hard death: surviving workers may be blocked on the dead
+			// peer forever. Kill the world so their polling waits unwind;
+			// they then exit cleanly with the abort in their envelopes.
+			w.Kill(fmt.Errorf("proc: rank %d worker died: %v", oc.rank, oc.err))
+		}
+		hardDeaths = append(hardDeaths, oc)
+	}
+	for r := 0; r < size; r++ {
+		logs[r].Close()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(hardDeaths) > 0 {
+		oc := hardDeaths[0]
+		return nil, fmt.Errorf("proc: rank %d worker died hard (%v); logs in %s\n%s",
+			oc.rank, oc.err, logDir, logTail(filepath.Join(logDir, fmt.Sprintf("rank%d.log", oc.rank))))
+	}
+
+	envs := make([]Envelope, size)
+	for r := 0; r < size; r++ {
+		b, err := os.ReadFile(resPaths[r])
+		if err != nil {
+			return nil, fmt.Errorf("proc: rank %d exited clean but left no envelope (%v); logs in %s\n%s",
+				r, err, logDir, logTail(filepath.Join(logDir, fmt.Sprintf("rank%d.log", r))))
+		}
+		if err := json.Unmarshal(b, &envs[r]); err != nil {
+			return nil, fmt.Errorf("proc: rank %d envelope: %w", r, err)
+		}
+		if envs[r].Rank != r {
+			return nil, fmt.Errorf("proc: rank %d envelope claims rank %d", r, envs[r].Rank)
+		}
+	}
+	if logDirOwned {
+		os.RemoveAll(logDir)
+	}
+	return envs, nil
+}
+
+// logTailBytes bounds how much of a dead worker's log the supervisor
+// embeds in its error.
+const logTailBytes = 4096
+
+// logTail returns the last chunk of the file, prefixed per line, for
+// embedding a dead worker's final output in the supervisor's error.
+func logTail(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil || len(b) == 0 {
+		return "  (no worker output captured)"
+	}
+	if len(b) > logTailBytes {
+		b = b[len(b)-logTailBytes:]
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  | " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,143 @@
+package proc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/bricklab/brick/internal/mpi"
+)
+
+// TestMain makes this test binary its own worker: the supervisor tests
+// spawn os.Executable(), and a spawned copy lands here with the worker
+// environment set.
+func TestMain(m *testing.M) {
+	if IsWorker() {
+		runTestWorker()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runTestWorker is the worker body for the tests below, selected by
+// PROC_TEST_MODE (inherited through the supervisor's environment).
+func runTestWorker() {
+	wk, w, err := Attach()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer w.Close()
+	switch os.Getenv("PROC_TEST_MODE") {
+	case "die":
+		// Rank 1 dies hard before running its rank; the others park in a
+		// barrier that only the supervisor's Kill can release.
+		if wk.Rank == 1 {
+			fmt.Fprintln(os.Stderr, "synthetic hard death marker")
+			os.Exit(3)
+		}
+		var runErr error
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					ae, ok := p.(*mpi.AbortError)
+					if !ok {
+						panic(p)
+					}
+					runErr = ae
+				}
+			}()
+			w.RunRank(wk.Rank, func(c *mpi.Comm) { c.Barrier() })
+		}()
+		if err := wk.Report(nil, runErr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		// Echo mode: a world-wide reduction proves the spawned processes
+		// really share one world, and the spec bytes round-trip.
+		var sum float64
+		w.RunRank(wk.Rank, func(c *mpi.Comm) {
+			sum = c.Allreduce1(mpi.OpSum, float64(wk.Rank))
+		})
+		err := wk.Report(map[string]any{"sum": sum, "spec": string(wk.Spec)}, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func newShmemWorld(t *testing.T, size int) *mpi.World {
+	t.Helper()
+	w, err := mpi.NewWorldOn("shmem", size)
+	if err != nil {
+		t.Skipf("shmem transport unavailable: %v", err)
+	}
+	if w.ShmemFile() == nil {
+		w.Close()
+		t.Skip("shmem arena fell back to the heap; cross-process worlds unavailable")
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func TestRunCollectsEnvelopes(t *testing.T) {
+	const size = 4
+	w := newShmemWorld(t, size)
+	envs, err := Run(w, []byte(`{"hello":"world"}`), Options{LogDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != size {
+		t.Fatalf("got %d envelopes, want %d", len(envs), size)
+	}
+	want := float64(0 + 1 + 2 + 3)
+	for r, e := range envs {
+		if e.Rank != r || e.Err != "" {
+			t.Fatalf("envelope %d: rank=%d err=%q", r, e.Rank, e.Err)
+		}
+		var res struct {
+			Sum  float64 `json:"sum"`
+			Spec string  `json:"spec"`
+		}
+		if err := json.Unmarshal(e.Result, &res); err != nil {
+			t.Fatalf("rank %d result: %v", r, err)
+		}
+		if res.Sum != want {
+			t.Fatalf("rank %d allreduce sum = %v, want %v", r, res.Sum, want)
+		}
+		if res.Spec != `{"hello":"world"}` {
+			t.Fatalf("rank %d spec = %q", r, res.Spec)
+		}
+	}
+}
+
+// TestRunHardDeathKillsWorld: a worker that exits without an envelope must
+// not wedge its siblings — the supervisor kills the world, the survivors
+// unwind from their barrier, and the error carries the dead worker's log
+// tail.
+func TestRunHardDeathKillsWorld(t *testing.T) {
+	const size = 3
+	w := newShmemWorld(t, size)
+	t.Setenv("PROC_TEST_MODE", "die")
+	_, err := Run(w, []byte(`{}`), Options{LogDir: t.TempDir()})
+	if err == nil {
+		t.Fatal("hard worker death reported no error")
+	}
+	if !strings.Contains(err.Error(), "rank 1 worker died hard") {
+		t.Fatalf("error does not name the dead worker: %v", err)
+	}
+	if !strings.Contains(err.Error(), "synthetic hard death marker") {
+		t.Fatalf("error does not carry the worker's log tail: %v", err)
+	}
+}
+
+func TestRunRejectsNonShmemWorld(t *testing.T) {
+	w := mpi.NewWorld(2)
+	if _, err := Run(w, nil, Options{}); err == nil {
+		t.Fatal("chan world accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package mpi
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Recovery (ULFM-style revoke/respawn, in-process form). World.Run is
 // fail-loud: the first panic aborts every rank and re-raises in the caller.
@@ -99,10 +102,7 @@ func (w *World) RunRecoverable(body func(*Comm), onRecover func(ae *AbortError, 
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			c := &Comm{world: w, rank: rank}
-			if w.reg != nil {
-				c.m = newCommMetrics(w.reg, rank)
-			}
+			c := w.newComm(rank)
 			for {
 				if w.runRankEpoch(c, body) {
 					return
@@ -210,29 +210,19 @@ func (w *World) Revoke(rank int, cause any) { w.abort(rank, cause) }
 
 // Respawn re-arms an aborted world for a new epoch. The caller must
 // guarantee quiescence — every rank goroutine parked or exited, watchdog
-// stopped — which RunRecoverable establishes before calling it. It wipes
-// all transport state: unmatched inbox traffic (a mid-exchange abort
-// strands envelopes and posted receives), the entire persistent-endpoint
-// registry (a rank that died mid-plan-build leaks half-paired endpoints;
-// survivors' endpoints are stale because the new epoch re-pairs from
-// scratch — FIFO pairing order only holds if everyone starts empty), and
-// the collectives. The abort machinery is reset last so the new epoch
-// fails loud on its own terms.
+// stopped — which RunRecoverable establishes before calling it. It asks
+// the transport to wipe all wire state: unmatched inbox traffic (a
+// mid-exchange abort strands envelopes and posted receives), the entire
+// persistent-endpoint registry (a rank that died mid-plan-build leaks
+// half-paired endpoints; survivors' endpoints are stale because the new
+// epoch re-pairs from scratch — FIFO pairing order only holds if everyone
+// starts empty), and the collectives. The abort machinery is reset last so
+// the new epoch fails loud on its own terms. Panics if the backend cannot
+// rewind (shmem worlds span processes and are not respawnable in-place).
 func (w *World) Respawn() {
-	for _, box := range w.boxes {
-		box.mu.Lock()
-		box.sends, box.recvs = nil, nil
-		box.mu.Unlock()
+	if err := w.tr.reset(); err != nil {
+		panic(fmt.Sprintf("mpi: Respawn on transport %q: %v", w.tr.name(), err))
 	}
-	pr := &w.pers
-	pr.mu.Lock()
-	pr.sends = map[endpointKey][]*pchan{}
-	pr.recvs = map[endpointKey][]*pchan{}
-	pr.all = nil
-	pr.mu.Unlock()
-	w.bar.reset()
-	w.red.reset()
-	w.gather.reset()
 	w.abortVal.Store(nil)
 	w.abortOnce = sync.Once{}
 	w.abortCh = make(chan struct{})

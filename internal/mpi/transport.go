@@ -1,0 +1,175 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/bricklab/brick/internal/fault"
+)
+
+// Transport is the wire seam of the runtime: it owns endpoint matching,
+// message delivery, partitioned-cycle signaling, and collective rendezvous,
+// while World/Comm keep everything transport-agnostic — validation, fault
+// injection, traffic counters, tracing, flight recording, metrics, the
+// abort machinery, and the watchdog. A backend registers a factory under a
+// name (RegisterTransport) and worlds are built on it with NewWorldOn; the
+// "chan" backend is the in-process pre-paired channel runtime, "shmem" the
+// shared-memory segment runtime that also works across processes.
+//
+// The interface is sealed (unexported methods): backends live in this
+// package so the conformance suite in transport_conformance_test.go can
+// hold every implementation to the same semantics.
+type Transport interface {
+	// name identifies the backend ("chan", "shmem") in metrics labels,
+	// flight artifact headers, and stall reports.
+	name() string
+
+	// isend posts a one-shot send whose generic stamping (fault delay,
+	// traffic counters, trace, flight seq, metrics) already happened; flips
+	// is injected in-flight corruption to apply at delivery, seq the
+	// sender's flight sequence stamp.
+	isend(c *Comm, dst, tag int, buf []float64, flips []fault.ByteFlip, seq uint64) *Request
+	// irecv posts a one-shot receive (src may be AnySource, tag AnyTag).
+	irecv(c *Comm, src, tag int, buf []float64) *Request
+
+	// sendInit/recvInit build persistent endpoints; matching happens here,
+	// once, following the FIFO pairing rules documented in persistent.go.
+	sendInit(c *Comm, dst, tag int, buf []float64) *Request
+	recvInit(c *Comm, src, tag int, buf []float64) *Request
+
+	// Collectives. Each reports aborted=true when the world went down
+	// mid-operation; the Comm wrapper then panics with the *AbortError.
+	barrier(rank int) (aborted bool)
+	allreduce(rank int, op Op, in []float64) (out []float64, aborted bool)
+	gather(rank int, in []float64) (out [][]float64, aborted bool)
+
+	// abortAll wakes every waiter parked inside the transport (collectives,
+	// polling loops). Point-to-point waits are unblocked by the world-level
+	// abort channel; this call handles transport-internal rendezvous.
+	abortAll()
+
+	// Watchdog hooks: pendingCount is the cheap stall predicate (posted but
+	// incomplete operations), pendingOps the detailed listing for a
+	// StallReport, collectiveWaiters the per-collective parked-rank counts.
+	pendingCount() int
+	pendingOps() []PendingOp
+	collectiveWaiters() (bar, red, gath int)
+
+	// persistentPending reports unmatched endpoints and live channels for
+	// leak tests (see World.PersistentPending).
+	persistentPending() (unmatched, live int)
+
+	// reset wipes all transport state for a Respawn (world quiescent). A
+	// backend that cannot rewind (shmem: the shared heap is append-only and
+	// peers are other processes) returns an error and RunRecoverable is
+	// unsupported on it.
+	reset() error
+
+	// close releases transport resources (segments, fds). The world is
+	// unusable afterwards.
+	close() error
+}
+
+// reqOp is the per-request protocol half of a Request: how to park until
+// completion and what bookkeeping completion implies. The generic half —
+// trace/flight/metrics stamping — lives on Request itself.
+type reqOp interface {
+	// block parks until the transfer completed, or panics with the world's
+	// *AbortError if the world aborts first.
+	block(r *Request)
+	// blockTimeout is block with a deadline: nil on completion, the
+	// *AbortError on abort, a *TimeoutError on expiry (the operation is
+	// still in flight and may be waited again).
+	blockTimeout(r *Request, d time.Duration) error
+	// finish performs post-completion bookkeeping (progress tick, receive
+	// accounting) and returns the received element count (0 for sends).
+	finish(r *Request) int
+	// opName describes the operation for timeout diagnostics (cold path).
+	opName(r *Request) string
+}
+
+// persOp extends reqOp with the persistent-request protocol
+// (Start/Pready/Parrived/Rebind/Free). Implemented by each backend's
+// persistent channel type.
+type persOp interface {
+	reqOp
+	// elems is the current element count of this side's buffer.
+	elems(r *Request) int
+	// start activates one transfer cycle; seq/flips carry the generic
+	// stamping results for the send side (zero/nil on the receive side).
+	start(r *Request, seq uint64, flips []fault.ByteFlip)
+	// partition upgrades a freshly built send endpoint to partitioned
+	// (PsendInit); bounds were already validated generically.
+	partition(r *Request, bounds []int)
+	// preadyRange marks partitions [lo, hi) of the active cycle ready.
+	preadyRange(r *Request, lo, hi int)
+	// parrived reports whether partition i of the current cycle arrived.
+	parrived(r *Request, i int) bool
+	// partitions is the partition count (0 when unpartitioned).
+	partitions(r *Request) int
+	// rebind swaps this side's buffer on an inactive request.
+	rebind(r *Request, buf []float64)
+	// free tears the endpoint down (idempotent).
+	free(r *Request)
+}
+
+// TransportFactory builds a backend for a world under construction. The
+// world's size is final; its transport field is assigned from the return
+// value.
+type TransportFactory func(w *World) (Transport, error)
+
+var transportRegistry = map[string]TransportFactory{}
+
+// RegisterTransport registers a backend factory under a name. Backends
+// self-register from init; re-registering a name panics.
+func RegisterTransport(name string, f TransportFactory) {
+	if _, dup := transportRegistry[name]; dup {
+		panic(fmt.Sprintf("mpi: transport %q registered twice", name))
+	}
+	transportRegistry[name] = f
+}
+
+// TransportNames lists the registered backends, sorted.
+func TransportNames() []string {
+	names := make([]string, 0, len(transportRegistry))
+	for n := range transportRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultTransport is the backend NewWorld builds on.
+const DefaultTransport = "chan"
+
+// NewWorldOn creates a world of the given size on the named transport
+// backend. An unknown name or a failed backend setup is an error; a
+// non-positive size is a programmer error and panics, as in NewWorld.
+func NewWorldOn(name string, size int) (*World, error) {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	f := transportRegistry[name]
+	if f == nil {
+		return nil, fmt.Errorf("mpi: unknown transport %q (registered: %s)",
+			name, strings.Join(TransportNames(), ", "))
+	}
+	w := &World{size: size, abortCh: make(chan struct{})}
+	tr, err := f(w)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: transport %q: %w", name, err)
+	}
+	w.tr = tr
+	w.sprog, _ = tr.(sharedProgress)
+	return w, nil
+}
+
+// Transport returns the name of the backend this world runs on.
+func (w *World) Transport() string { return w.tr.name() }
+
+// Close releases the transport's resources (shared segments, fds). Worlds
+// on the chan backend hold none, so Close is optional there; shmem worlds
+// should be closed when done.
+func (w *World) Close() error { return w.tr.close() }

@@ -1,0 +1,368 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/bricklab/brick/internal/fault"
+)
+
+// The transport conformance suite: every registered backend is held to the
+// same observable semantics. A new backend gets the whole battery for free
+// by registering (RegisterTransport), and a semantic divergence between
+// backends shows up as a per-backend subtest failure, not a soak-time
+// heisenbug. Each scenario runs via forEachTransport, so the suite is the
+// executable form of the Transport interface contract.
+
+// forEachTransport runs the scenario once per registered backend.
+func forEachTransport(t *testing.T, size int, scenario func(t *testing.T, w *World)) {
+	t.Helper()
+	for _, name := range TransportNames() {
+		t.Run(name, func(t *testing.T) {
+			w, err := NewWorldOn(name, size)
+			if err != nil {
+				t.Fatalf("NewWorldOn(%q, %d): %v", name, size, err)
+			}
+			defer w.Close()
+			if got := w.Transport(); got != name {
+				t.Fatalf("w.Transport() = %q, want %q", got, name)
+			}
+			scenario(t, w)
+		})
+	}
+}
+
+// expectAbortOn is runWorldExpectAbort for the conformance suite: run the
+// body on w expecting a world abort, with a hard scheduling deadline.
+func expectAbortOn(t *testing.T, w *World, body func(*Comm)) *AbortError {
+	t.Helper()
+	return runWorldExpectAbort(t, w, 20*time.Second, body)
+}
+
+// TestConformanceOneShot exercises one-shot matching: concrete endpoints,
+// AnySource/AnyTag wildcards, out-of-order tags, and payload fidelity
+// (bit-exact float64 delivery).
+func TestConformanceOneShot(t *testing.T) {
+	forEachTransport(t, 4, func(t *testing.T, w *World) {
+		w.Run(func(c *Comm) {
+			n := 64
+			if c.Rank() == 0 {
+				// Two tagged sends posted in reverse tag order; the receiver
+				// matches them by tag, so order must not matter.
+				a := make([]float64, n)
+				b := make([]float64, n)
+				for i := range a {
+					a[i] = float64(i) * 1.5
+					b[i] = -float64(i)
+				}
+				ra := c.Isend(1, 2, a)
+				rb := c.Isend(1, 1, b)
+				ra.Wait()
+				rb.Wait()
+				// Wildcard leg: rank 0 accepts from anyone on any tag.
+				got := make([]float64, 1)
+				c.Irecv(AnySource, AnyTag, got).Wait()
+				if got[0] != 42.5 {
+					t.Errorf("wildcard recv got %v, want 42.5", got[0])
+				}
+			} else if c.Rank() == 1 {
+				b := make([]float64, n)
+				a := make([]float64, n)
+				c.Irecv(0, 1, b).Wait()
+				c.Irecv(0, 2, a).Wait()
+				for i := range a {
+					if a[i] != float64(i)*1.5 || b[i] != -float64(i) {
+						t.Fatalf("payload mismatch at %d: a=%v b=%v", i, a[i], b[i])
+					}
+				}
+				c.Isend(0, 9, []float64{42.5}).Wait()
+			}
+			c.Barrier()
+		})
+		if ae := w.Aborted(); ae != nil {
+			t.Fatalf("world aborted: %v", ae)
+		}
+	})
+}
+
+// TestConformanceCollectives checks Barrier/Allreduce/Gather semantics and
+// the ascending-rank reduction order that keeps checksums bit-identical
+// across backends.
+func TestConformanceCollectives(t *testing.T) {
+	forEachTransport(t, 4, func(t *testing.T, w *World) {
+		w.Run(func(c *Comm) {
+			in := []float64{float64(c.Rank()) + 0.25, 1000 * float64(c.Rank())}
+			out := c.Allreduce(OpSum, in)
+			want0 := 0.25 + 1.25 + 2.25 + 3.25
+			if math.Float64bits(out[0]) != math.Float64bits(want0) || out[1] != 6000 {
+				t.Errorf("rank %d Allreduce = %v", c.Rank(), out)
+			}
+			rows := c.Gather([]float64{float64(c.Rank() * 10)})
+			if c.Rank() == 0 {
+				for rk, row := range rows {
+					if len(row) != 1 || row[0] != float64(rk*10) {
+						t.Errorf("Gather row %d = %v", rk, row)
+					}
+				}
+			} else if rows != nil {
+				t.Errorf("rank %d Gather returned non-nil %v", c.Rank(), rows)
+			}
+			c.Barrier()
+		})
+		if ae := w.Aborted(); ae != nil {
+			t.Fatalf("world aborted: %v", ae)
+		}
+	})
+}
+
+// TestConformancePersistent drives a persistent ring exchange for several
+// cycles with changing payloads, then checks Free bookkeeping via
+// PersistentPending.
+func TestConformancePersistent(t *testing.T) {
+	forEachTransport(t, 4, func(t *testing.T, w *World) {
+		const cycles = 8
+		w.Run(func(c *Comm) {
+			n := 32
+			dst := (c.Rank() + 1) % c.Size()
+			src := (c.Rank() + c.Size() - 1) % c.Size()
+			sbuf := make([]float64, n)
+			rbuf := make([]float64, n)
+			s := c.SendInit(dst, 3, sbuf)
+			r := c.RecvInit(src, 3, rbuf)
+			for k := 0; k < cycles; k++ {
+				for i := range sbuf {
+					sbuf[i] = float64(c.Rank()*1000+k*100) + float64(i)
+				}
+				s.Start()
+				r.Start()
+				if got := r.Wait(); got != n {
+					t.Errorf("cycle %d: recv Wait = %d, want %d", k, got, n)
+				}
+				s.Wait()
+				for i := range rbuf {
+					want := float64(src*1000+k*100) + float64(i)
+					if rbuf[i] != want {
+						t.Fatalf("cycle %d elem %d: got %v want %v", k, i, rbuf[i], want)
+					}
+				}
+				c.Barrier()
+			}
+			s.Free()
+			r.Free()
+			c.Barrier()
+		})
+		if ae := w.Aborted(); ae != nil {
+			t.Fatalf("world aborted: %v", ae)
+		}
+		if un, live := w.PersistentPending(); un != 0 || live != 0 {
+			t.Errorf("after Free: PersistentPending = (%d unmatched, %d live), want (0, 0)", un, live)
+		}
+	})
+}
+
+// TestConformancePartitioned drives a partitioned pipeline: partitions are
+// marked ready out of order, the receiver polls Parrived and consumes
+// early partitions before Wait, and the cycle repeats to cover staging
+// reuse.
+func TestConformancePartitioned(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, w *World) {
+		const cycles = 4
+		w.Run(func(c *Comm) {
+			bounds := []int{0, 4, 8, 16}
+			buf := make([]float64, 16)
+			if c.Rank() == 0 {
+				s := c.PsendInit(1, 5, buf, bounds)
+				if got := s.Partitions(); got != 3 {
+					t.Errorf("sender Partitions = %d, want 3", got)
+				}
+				c.Barrier() // both endpoints registered before the first poll
+				for k := 0; k < cycles; k++ {
+					s.Start()
+					for i := range buf {
+						buf[i] = float64(k*100 + i)
+					}
+					// Out-of-order readiness, including a range form.
+					s.Pready(2)
+					s.PreadyRange(0, 2)
+					s.Wait()
+					c.Barrier()
+				}
+				s.Free()
+			} else {
+				r := c.PrecvInit(0, 5, buf)
+				c.Barrier()
+				for k := 0; k < cycles; k++ {
+					r.Start()
+					// Poll one partition early; it must become consumable
+					// before full-cycle Wait.
+					deadline := time.Now().Add(15 * time.Second)
+					for !r.Parrived(2) {
+						if time.Now().After(deadline) {
+							t.Fatal("Parrived(2) never became true")
+						}
+						time.Sleep(50 * time.Microsecond)
+					}
+					if got := buf[8]; got != float64(k*100+8) {
+						t.Errorf("cycle %d early partition elem = %v, want %v", k, got, float64(k*100+8))
+					}
+					if got := r.Wait(); got != 16 {
+						t.Errorf("cycle %d recv Wait = %d, want 16", k, got)
+					}
+					for i := range buf {
+						if buf[i] != float64(k*100+i) {
+							t.Fatalf("cycle %d elem %d: got %v", k, i, buf[i])
+						}
+					}
+					c.Barrier()
+				}
+				r.Free()
+			}
+		})
+		if ae := w.Aborted(); ae != nil {
+			t.Fatalf("world aborted: %v", ae)
+		}
+	})
+}
+
+// TestConformanceAbortUnblocksWaits: an abort raised on one rank must
+// unblock a peer parked in a receive Wait that would otherwise never
+// complete, and surface the originating value on every rank.
+func TestConformanceAbortUnblocksWaits(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, w *World) {
+		ae := expectAbortOn(t, w, func(c *Comm) {
+			if c.Rank() == 0 {
+				time.Sleep(20 * time.Millisecond)
+				c.Abort(fmt.Errorf("conformance: deliberate failure"))
+			}
+			c.Irecv(1-c.Rank(), 7, make([]float64, 4)).Wait() // never matched
+		})
+		if ae.Rank != 0 {
+			t.Errorf("abort rank = %d, want 0", ae.Rank)
+		}
+	})
+}
+
+// TestConformanceAbortUnblocksCollectives: the abort must also release a
+// rank parked inside a collective rendezvous.
+func TestConformanceAbortUnblocksCollectives(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, w *World) {
+		expectAbortOn(t, w, func(c *Comm) {
+			if c.Rank() == 0 {
+				time.Sleep(20 * time.Millisecond)
+				c.Abort(fmt.Errorf("conformance: collective teardown"))
+			}
+			c.Barrier() // rank 1 parks here; rank 0 never arrives
+		})
+	})
+}
+
+// TestConformanceWatchdogStallReport arms the watchdog over a guaranteed
+// stall (a posted receive no send will ever match) and requires the abort
+// to carry a StallReport naming the backend and the stuck endpoint.
+func TestConformanceWatchdogStallReport(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, w *World) {
+		w.SetWatchdog(60*time.Millisecond, nil)
+		ae := expectAbortOn(t, w, func(c *Comm) {
+			if c.Rank() == 1 {
+				c.Irecv(0, 4, make([]float64, 2)).Wait() // rank 0 never sends
+			} else {
+				c.Barrier()
+			}
+		})
+		rep, ok := ae.Value.(*StallReport)
+		if !ok {
+			t.Fatalf("abort value %T, want *StallReport", ae.Value)
+		}
+		if rep.Transport != w.Transport() {
+			t.Errorf("report transport = %q, want %q", rep.Transport, w.Transport())
+		}
+		if !findOp(rep, "recv-posted", 0, 1, 4) {
+			t.Errorf("report lacks recv-posted (0,1,4):\n%v", rep)
+		}
+	})
+}
+
+// TestConformanceCRCVerify: with receive-side verification on, an injected
+// payload corruption must kill the world with a CorruptionError naming the
+// wire's endpoints, on every backend.
+func TestConformanceCRCVerify(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, w *World) {
+		w.SetVerifyCRC(true)
+		w.SetFault(fault.New(1).WithCorrupt(0, 1, 1))
+		ae := expectAbortOn(t, w, func(c *Comm) {
+			buf := make([]float64, 16)
+			if c.Rank() == 0 {
+				for i := range buf {
+					buf[i] = float64(i)
+				}
+				c.Isend(1, 2, buf).Wait()
+			} else {
+				c.Irecv(0, 2, buf).Wait()
+			}
+			c.Barrier()
+		})
+		ce, ok := ae.Value.(*CorruptionError)
+		if !ok {
+			t.Fatalf("abort value %T (%v), want *CorruptionError", ae.Value, ae.Value)
+		}
+		if ce.Src != 0 || ce.Dst != 1 || ce.Tag != 2 {
+			t.Errorf("CorruptionError endpoints = (%d,%d,%d), want (0,1,2)", ce.Src, ce.Dst, ce.Tag)
+		}
+	})
+}
+
+// TestConformanceCRCCleanRun: verification on, no fault — the run must be
+// indistinguishable from an unverified one.
+func TestConformanceCRCCleanRun(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, w *World) {
+		w.SetVerifyCRC(true)
+		w.Run(func(c *Comm) {
+			buf := make([]float64, 8)
+			if c.Rank() == 0 {
+				for i := range buf {
+					buf[i] = float64(i) * 3.5
+				}
+				c.Isend(1, 1, buf).Wait()
+			} else {
+				c.Irecv(0, 1, buf).Wait()
+				if buf[7] != 24.5 {
+					t.Errorf("payload[7] = %v, want 24.5", buf[7])
+				}
+			}
+			c.Barrier()
+		})
+		if ae := w.Aborted(); ae != nil {
+			t.Fatalf("clean verified run aborted: %v", ae)
+		}
+	})
+}
+
+// TestConformancePersistentUnpairedWatchdog: mismatched persistent tags
+// must be reported as psend-unpaired/precv-unpaired on every backend.
+func TestConformancePersistentUnpairedWatchdog(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, w *World) {
+		w.SetWatchdog(60*time.Millisecond, nil)
+		ae := expectAbortOn(t, w, func(c *Comm) {
+			var r *Request
+			if c.Rank() == 0 {
+				r = c.SendInit(1, 7, make([]float64, 4))
+			} else {
+				r = c.RecvInit(0, 8, make([]float64, 4))
+			}
+			r.Start()
+			r.Wait()
+		})
+		rep, ok := ae.Value.(*StallReport)
+		if !ok {
+			t.Fatalf("abort value %T, want *StallReport", ae.Value)
+		}
+		if !findOp(rep, "psend-unpaired", 0, 1, 7) {
+			t.Errorf("report lacks psend-unpaired (0,1,7):\n%v", rep)
+		}
+		if !findOp(rep, "precv-unpaired", 0, 1, 8) {
+			t.Errorf("report lacks precv-unpaired (0,1,8):\n%v", rep)
+		}
+	})
+}

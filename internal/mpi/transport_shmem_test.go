@@ -1,0 +1,57 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShmemAbortForensics: ShmemAbort reads the abort published in the
+// segment header — the supervisor-side view of why a world died, available
+// without ever running a rank — and stays false on clean worlds and on
+// non-shmem transports, which have no segment to read.
+func TestShmemAbortForensics(t *testing.T) {
+	w, err := NewWorldOn("shmem", 2)
+	if err != nil {
+		t.Fatalf("NewWorldOn(shmem): %v", err)
+	}
+	defer w.Close()
+	if _, _, ok := w.ShmemAbort(); ok {
+		t.Fatal("clean world reports a published abort")
+	}
+	ae := expectAbortOn(t, w, func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Abort("synthetic failure")
+		}
+		c.Barrier()
+	})
+	if ae.Rank != 1 {
+		t.Fatalf("abort attributed to rank %d, want 1", ae.Rank)
+	}
+	rank, msg, ok := w.ShmemAbort()
+	if !ok {
+		t.Fatal("abort not readable from the segment header")
+	}
+	if rank != 1 || !strings.Contains(msg, "synthetic failure") {
+		t.Fatalf("segment abort = rank %d msg %q, want rank 1 with the cause", rank, msg)
+	}
+
+	cw := NewWorld(1)
+	defer cw.Close()
+	if _, _, ok := cw.ShmemAbort(); ok {
+		t.Fatal("chan world reports a shmem abort")
+	}
+}
+
+// TestShmemNotRespawnable: the shmem transport refuses reset — the segment
+// heap is append-only and peer ranks may be other processes, so
+// checkpoint/restart respawn is a chan-only feature.
+func TestShmemNotRespawnable(t *testing.T) {
+	w, err := NewWorldOn("shmem", 1)
+	if err != nil {
+		t.Fatalf("NewWorldOn(shmem): %v", err)
+	}
+	defer w.Close()
+	if err := w.tr.reset(); err == nil || !strings.Contains(err.Error(), "not respawnable") {
+		t.Fatalf("reset = %v, want not-respawnable error", err)
+	}
+}

@@ -26,20 +26,6 @@ func (e *TimeoutError) Error() string {
 
 func (e *TimeoutError) Unwrap() error { return ErrWaitTimeout }
 
-// opName describes the request for timeout diagnostics (cold path only).
-func (r *Request) opName() string {
-	switch {
-	case r.pc != nil && r.psend:
-		return fmt.Sprintf("wait psend dst=%d tag=%d", r.pc.key.dst, r.pc.key.tag)
-	case r.pc != nil:
-		return fmt.Sprintf("wait precv src=%d tag=%d", r.pc.key.src, r.pc.key.tag)
-	case r.post != nil:
-		return fmt.Sprintf("wait recv src=%s tag=%s", wildcard(r.peer), wildcard(r.tag))
-	default:
-		return fmt.Sprintf("wait send dst=%d tag=%d", r.peer, r.tag)
-	}
-}
-
 // WaitTimeout is the deadline-aware, error-returning form of Wait: it
 // blocks at most d, returning the received element count on completion, a
 // *TimeoutError (wrapping ErrWaitTimeout) if the deadline expires, or the
@@ -50,45 +36,10 @@ func (r *Request) opName() string {
 // error rather than raised as a panic, so single-goroutine drivers and
 // tests can observe it without a recover.
 func (r *Request) WaitTimeout(d time.Duration) (int, error) {
-	var abortCh chan struct{} // nil: never ready in the select below
-	var w *World
-	if r.comm != nil {
-		w = r.comm.world
-		abortCh = w.abortCh
+	if err := r.op.blockTimeout(r, d); err != nil {
+		return 0, err
 	}
-	if r.pc != nil {
-		tok := r.token()
-		select {
-		case <-tok:
-			return r.finishPersistent(), nil
-		default:
-		}
-		t := time.NewTimer(d)
-		defer t.Stop()
-		select {
-		case <-tok:
-			return r.finishPersistent(), nil
-		case <-abortCh:
-			return 0, w.Aborted()
-		case <-t.C:
-			return 0, &TimeoutError{After: d, Op: r.opName()}
-		}
-	}
-	select {
-	case <-r.done:
-		return r.finish(), nil
-	default:
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-r.done:
-		return r.finish(), nil
-	case <-abortCh:
-		return 0, w.Aborted()
-	case <-t.C:
-		return 0, &TimeoutError{After: d, Op: r.opName()}
-	}
+	return r.op.finish(r), nil
 }
 
 // WaitallTimeout waits for every request under ONE shared deadline (d

@@ -42,11 +42,37 @@ func (w *World) SetWatchdog(timeout time.Duration, onStall func(*StallReport)) {
 	w.wdog = &watchdog{timeout: timeout, onStall: onStall}
 }
 
-// progressTick records one completed operation for stall detection.
+// sharedProgress is implemented by transports whose pending-op view spans
+// other processes (shmem): pendingOps there reports endpoints whose owning
+// ranks live in peer processes, so the stall predicate must also see those
+// peers' progress. The transport keeps one world-wide counter in shared
+// memory; every process ticks it and every process's watchdog samples it.
+type sharedProgress interface {
+	progressTickShared()
+	progressShared() int64
+}
+
+// progressTick records one completed operation for stall detection. The
+// shared tick is unconditional: this process may run without a watchdog
+// while a peer process's watchdog depends on seeing our progress.
 func (w *World) progressTick() {
 	if wd := w.wdog; wd != nil {
 		wd.progress.Add(1)
 	}
+	if sp := w.sprog; sp != nil {
+		sp.progressTickShared()
+	}
+}
+
+// progressNow samples the stall-detection counter: local ticks plus the
+// transport's shared counter when one exists. Both are monotonic, so the
+// sum changes exactly when any attached process completes an operation.
+func (w *World) progressNow(wd *watchdog) int64 {
+	p := wd.progress.Load()
+	if sp := w.sprog; sp != nil {
+		p += sp.progressShared()
+	}
+	return p
 }
 
 // startWatchdog launches the monitor goroutine; the returned func stops it
@@ -82,7 +108,7 @@ func (w *World) watchLoop(wd *watchdog) {
 		case <-w.abortCh:
 			return
 		case <-t.C:
-			p := wd.progress.Load()
+			p := w.progressNow(wd)
 			if p != last || w.pendingOps() == 0 {
 				last, since = p, time.Time{}
 				continue
@@ -108,25 +134,7 @@ func (w *World) watchLoop(wd *watchdog) {
 // posted but not complete. Zero means the world is quiescent (computing)
 // and the watchdog stays silent regardless of elapsed time.
 func (w *World) pendingOps() int {
-	n := 0
-	for _, box := range w.boxes {
-		box.mu.Lock()
-		n += len(box.sends) + len(box.recvs)
-		box.mu.Unlock()
-	}
-	pr := &w.pers
-	pr.mu.Lock()
-	for _, pc := range pr.all {
-		pc.mu.Lock()
-		if pc.sendFired || pc.recvFired {
-			n++
-		}
-		pc.mu.Unlock()
-	}
-	pr.mu.Unlock()
-	n += w.bar.pendingWaiters()
-	n += w.red.pendingWaiters()
-	n += w.gather.pendingWaiters()
+	n := w.tr.pendingCount()
 	if rs := w.recov; rs != nil {
 		n += len(rs.parkedRanks())
 	}
@@ -175,6 +183,8 @@ type StallReport struct {
 	// report was taken manually via World.StallReport).
 	Size     int           `json:"size"`
 	Watchdog time.Duration `json:"watchdog"`
+	// Transport names the backend the stalled world runs on.
+	Transport string `json:"transport,omitempty"`
 	// Barrier/Reduce/Gather count ranks parked in each collective;
 	// Recovery counts ranks parked at the recovery barrier.
 	Barrier  int `json:"barrier"`
@@ -202,82 +212,9 @@ const flightTailLen = 16
 // watchdog calls it on stall; tests and debugging hooks may call it at any
 // time (it only takes the runtime's internal locks briefly).
 func (w *World) StallReport() *StallReport {
-	rep := &StallReport{Size: w.size}
-	for dst, box := range w.boxes {
-		box.mu.Lock()
-		for _, env := range box.sends {
-			rep.Pending = append(rep.Pending, PendingOp{
-				Kind: "send-unmatched", Src: env.src, Dst: dst, Tag: env.tag,
-				Bytes: int64(8 * len(env.data)),
-			})
-		}
-		for _, p := range box.recvs {
-			rep.Pending = append(rep.Pending, PendingOp{
-				Kind: "recv-posted", Src: p.src, Dst: dst, Tag: p.tag,
-				Bytes: int64(8 * len(p.buf)),
-			})
-		}
-		box.mu.Unlock()
-	}
-	pr := &w.pers
-	pr.mu.Lock()
-	unpaired := map[*pchan]bool{}
-	addUnpaired := func(m map[endpointKey][]*pchan, kind string) {
-		for key, list := range m {
-			for _, pc := range list {
-				unpaired[pc] = true
-				pc.mu.Lock()
-				buf := pc.sendBuf
-				if buf == nil {
-					buf = pc.recvBuf
-				}
-				pc.mu.Unlock()
-				rep.Pending = append(rep.Pending, PendingOp{
-					Kind: kind, Src: key.src, Dst: key.dst, Tag: key.tag,
-					Bytes: int64(8 * len(buf)), Persistent: true,
-				})
-			}
-		}
-	}
-	addUnpaired(pr.sends, "psend-unpaired")
-	addUnpaired(pr.recvs, "precv-unpaired")
-	for _, pc := range pr.all {
-		if unpaired[pc] {
-			continue
-		}
-		pc.mu.Lock()
-		if pc.sendFired {
-			op := PendingOp{
-				Kind: "psend-active", Src: pc.key.src, Dst: pc.key.dst, Tag: pc.key.tag,
-				Bytes: int64(8 * len(pc.sendBuf)), Persistent: true,
-			}
-			if pc.bounds != nil {
-				op.Partitions, op.Ready = len(pc.ready), pc.nready
-				if pc.nready < len(pc.ready) {
-					// A parked partition: the send is active but some
-					// producing tiles never declared their spans ready.
-					op.Kind = "psend-partial"
-					for i, rdy := range pc.ready {
-						if !rdy {
-							op.Unready = append(op.Unready, i)
-						}
-					}
-				}
-			}
-			rep.Pending = append(rep.Pending, op)
-		}
-		if pc.recvFired {
-			rep.Pending = append(rep.Pending, PendingOp{
-				Kind: "precv-active", Src: pc.key.src, Dst: pc.key.dst, Tag: pc.key.tag,
-				Bytes: int64(8 * len(pc.recvBuf)), Persistent: true,
-			})
-		}
-		pc.mu.Unlock()
-	}
-	pr.mu.Unlock()
-	rep.Barrier = w.bar.pendingWaiters()
-	rep.Reduce = w.red.pendingWaiters()
-	rep.Gather = w.gather.pendingWaiters()
+	rep := &StallReport{Size: w.size, Transport: w.tr.name()}
+	rep.Pending = append(rep.Pending, w.tr.pendingOps()...)
+	rep.Barrier, rep.Reduce, rep.Gather = w.tr.collectiveWaiters()
 	if rs := w.recov; rs != nil {
 		parked := rs.parkedRanks()
 		rep.Recovery = len(parked)
@@ -332,7 +269,11 @@ func (r *StallReport) String() string {
 	if r.Watchdog > 0 {
 		fmt.Fprintf(&b, " (no progress for %v)", r.Watchdog)
 	}
-	fmt.Fprintf(&b, "\n  collectives: barrier=%d reduce=%d gather=%d recovery=%d\n",
+	b.WriteByte('\n')
+	if r.Transport != "" {
+		fmt.Fprintf(&b, "  transport: %s\n", r.Transport)
+	}
+	fmt.Fprintf(&b, "  collectives: barrier=%d reduce=%d gather=%d recovery=%d\n",
 		r.Barrier, r.Reduce, r.Gather, r.Recovery)
 	for _, op := range r.Pending {
 		fmt.Fprintf(&b, "  %-14s src=%s dst=%s tag=%s bytes=%d", op.Kind,

@@ -188,11 +188,12 @@ func TestWatchdogReportsParkedPartition(t *testing.T) {
 // (go test ./internal/mpi/ -run Golden -update regenerates the file).
 func TestStallReportGoldenFormat(t *testing.T) {
 	rep := &StallReport{
-		Size:     8,
-		Watchdog: 250 * time.Millisecond,
-		Barrier:  2,
-		Gather:   1,
-		Recovery: 1,
+		Size:      8,
+		Watchdog:  250 * time.Millisecond,
+		Transport: "chan",
+		Barrier:   2,
+		Gather:    1,
+		Recovery:  1,
 		Pending: []PendingOp{
 			{Kind: "precv-unpaired", Src: 0, Dst: 1, Tag: 8, Bytes: 32, Persistent: true},
 			{Kind: "psend-active", Src: 4, Dst: 5, Tag: 2, Bytes: 4096, Persistent: true},

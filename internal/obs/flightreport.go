@@ -24,8 +24,12 @@ import (
 //
 // lastN bounds each rank's timeline (<= 0 shows every retained event).
 func WriteFlightReport(w io.Writer, s *flight.Snapshot, lastN int) error {
-	if _, err := fmt.Fprintf(w, "flight artifact: reason=%s depth=%d ranks=%d\n",
-		s.Reason, s.Depth, len(s.Ranks)); err != nil {
+	tr := ""
+	if s.Transport != "" {
+		tr = " transport=" + s.Transport
+	}
+	if _, err := fmt.Fprintf(w, "flight artifact: reason=%s%s depth=%d ranks=%d\n",
+		s.Reason, tr, s.Depth, len(s.Ranks)); err != nil {
 		return err
 	}
 	if s.Detail != "" {

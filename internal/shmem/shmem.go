@@ -53,6 +53,12 @@ func (a *Arena) Float64s() []float64 { return bytesToFloat64(a.data) }
 // (true) or are copy-based fallbacks (false).
 func (a *Arena) Mapped() bool { return a.mapped }
 
+// File returns the arena's backing file, or nil for heap-backed arenas.
+// The fd can be inherited by a child process (os/exec ExtraFiles) and
+// reattached there with OpenArenaFile, giving both processes views onto
+// the same physical pages.
+func (a *Arena) File() *os.File { return a.file }
+
 // View is a (possibly aliasing) contiguous window over a sequence of arena
 // segments.
 type View struct {

@@ -19,6 +19,12 @@ func NewArena(size int) (*Arena, error) {
 	return newFallbackArena(size, pagesize), nil
 }
 
+// OpenArenaFile is unsupported without mmap: cross-process arenas require
+// shared mappings, which only the Linux implementation provides.
+func OpenArenaFile(f *os.File) (*Arena, error) {
+	return nil, fmt.Errorf("shmem: cross-process arenas require linux")
+}
+
 func (a *Arena) mapVector(segs []Segment, total int) (*View, error) {
 	return a.fallbackView(segs, total), nil
 }

@@ -38,6 +38,30 @@ func NewArena(size int) (*Arena, error) {
 	return &Arena{data: data, pagesize: pagesize, file: f, mapped: true}, nil
 }
 
+// OpenArenaFile maps an existing shared-memory file — typically a segment
+// created by another process and inherited through fork/exec — as an arena.
+// Unlike NewArena there is no heap fallback: a worker that cannot map the
+// supervisor's segment cannot share memory with it, so the error is real.
+// The arena takes ownership of f (Close closes it); its size is the file's
+// current size, which must be a page multiple.
+func OpenArenaFile(f *os.File) (*Arena, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("shmem: stat segment: %w", err)
+	}
+	pagesize := os.Getpagesize()
+	size := int(st.Size())
+	if size <= 0 || size%pagesize != 0 {
+		return nil, fmt.Errorf("shmem: segment size %d is not a positive page multiple", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("shmem: mapping %d-byte segment: %w", size, err)
+	}
+	return &Arena{data: data, pagesize: pagesize, file: f, mapped: true}, nil
+}
+
 // shmFile creates an anonymous shared-memory file: first in /dev/shm, then
 // in the default temp dir (still mappable, just possibly disk-backed).
 func shmFile() (*os.File, error) {

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"time"
@@ -101,6 +102,32 @@ func (s *Summary) Merge(o Summary) {
 
 // Reset clears the summary for reuse.
 func (s *Summary) Reset() { *s = Summary{} }
+
+// summaryJSON is the wire form of a Summary: the full Welford state, so a
+// decoded summary merges and extends exactly like the original. Worker
+// processes ship per-rank summaries to the supervisor through it.
+type summaryJSON struct {
+	N    int     `json:"n"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// MarshalJSON encodes the summary's complete accumulator state.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{N: s.n, Min: s.min, Max: s.max, Mean: s.mean, M2: s.m2})
+}
+
+// UnmarshalJSON restores a summary from its wire form.
+func (s *Summary) UnmarshalJSON(b []byte) error {
+	var w summaryJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = Summary{n: w.N, min: w.Min, max: w.Max, mean: w.Mean, m2: w.M2}
+	return nil
+}
 
 // String formats the summary in the artifact's style:
 // [min, avg, max] (σ: stddev), with values in engineering seconds.
