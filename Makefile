@@ -38,15 +38,30 @@ test:
 # cover merges a single coverage profile across every package (each test
 # binary instruments the whole module via -coverpkg) and enforces the soft
 # floor committed in COVERAGE_FLOOR: total statement coverage must not drop
-# below it. Regenerate the floor deliberately when coverage rises. Note the
-# cross-process shmem transport executes its worker-side paths in spawned
-# processes, which the merged profile cannot see — those statements read as
-# uncovered even though the supervised test suite drives them.
+# below it. Regenerate the floor deliberately when coverage rises.
+#
+# The cross-process shmem transport executes its worker-side paths in
+# spawned worker processes, which `go test`'s own profile cannot see — and
+# runtime/coverage cannot emit from test binaries at all (their coverage
+# meta-data is not registered the way `go build -cover` registers it). So
+# the target also builds cmd/soak with -cover, drives one supervised
+# crash-and-recover sweep under GOCOVERDIR (supervisor + every worker
+# process, first lives and respawns, auto-emit binary pods on exit), and
+# folds `go tool covdata textfmt` of those pods into the profile before
+# the floor check. Worker-side statements thus count as covered.
 COVER_PROFILE ?= cover.out
 COVER_FLOOR_FILE ?= COVERAGE_FLOOR
+COVER_WORKER_DIR ?= /tmp/brick-worker-cov
 
 cover:
+	rm -rf $(COVER_WORKER_DIR) && mkdir -p $(COVER_WORKER_DIR)/pods $(COVER_WORKER_DIR)/ckpt
 	$(GO) test -count=1 -coverprofile=$(COVER_PROFILE) -coverpkg=./... ./...
+	$(GO) build -cover -coverpkg=./... -o $(COVER_WORKER_DIR)/soak ./cmd/soak
+	GOCOVERDIR=$(COVER_WORKER_DIR)/pods $(COVER_WORKER_DIR)/soak -impls layout \
+		-transport shmem -ckpt -ckpt-every 2 -ckpt-dir $(COVER_WORKER_DIR)/ckpt \
+		-fault 'kill:rank=3:nth=2'
+	$(GO) tool covdata textfmt -i=$(COVER_WORKER_DIR)/pods -o=$(COVER_PROFILE).workers
+	tail -n +2 $(COVER_PROFILE).workers >> $(COVER_PROFILE)
 	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	floor=$$(cat $(COVER_FLOOR_FILE)); \
 	echo "total coverage: $$total% (floor: $$floor%)"; \
@@ -82,12 +97,23 @@ soak:
 # degradation) with checkpoints every 2 steps; every implementation must
 # recover and still finish bit-identical to its fault-free run. Committed
 # checkpoint epochs spill to SOAK_CKPT_DIR for postmortem on failure.
+# With SOAK_TRANSPORT=shmem each rank is a worker process and the spec
+# additionally SIGKILLs one worker mid-run (SOAK_RECOVER_PROC_FAULT): the
+# supervisor must respawn it from the spilled epochs. Process faults are
+# meaningless in-process, so the kill clause is only appended off chan.
 SOAK_RECOVER_FAULT ?= panic:rank=3:step=5,corrupt:rank=2:nth=40:flips=2,mapfail:rank=1
+SOAK_RECOVER_PROC_FAULT ?= kill:rank=3:nth=45
 SOAK_CKPT_DIR ?= /tmp/brick-soak-ckpt
 SOAK_RECOVER_FLIGHT ?= /tmp/brick-soak-recover-flight.bin
+ifeq ($(SOAK_TRANSPORT),chan)
+SOAK_RECOVER_FAULT_FULL = $(SOAK_RECOVER_FAULT)
+else
+SOAK_RECOVER_FAULT_FULL = $(SOAK_RECOVER_FAULT),$(SOAK_RECOVER_PROC_FAULT)
+endif
 soak-recover:
 	$(GO) run -race ./cmd/soak -ckpt -ckpt-every 2 -verify-crc \
-		-ckpt-dir $(SOAK_CKPT_DIR) -fault '$(SOAK_RECOVER_FAULT)' \
+		-transport $(SOAK_TRANSPORT) \
+		-ckpt-dir $(SOAK_CKPT_DIR) -fault '$(SOAK_RECOVER_FAULT_FULL)' \
 		-flight -flight-out $(SOAK_RECOVER_FLIGHT)
 
 # One iteration of every benchmark as a smoke test (no unit tests: -run '^$').

@@ -2,8 +2,6 @@ package ckpt
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 )
 
@@ -92,26 +90,16 @@ func (st *Store) Put(s *Snapshot) (committed bool, err error) {
 	return false, nil
 }
 
-// spillLocked writes a committed epoch to dir/epoch<step>/rank<N>.ckpt.
+// spillLocked writes a committed epoch to dir/epoch<step>/rank<N>.ckpt
+// (atomic per-file writes, manifest last — see disk.go). The in-process
+// store holds the whole epoch, so it commits the manifest itself.
 func (st *Store) spillLocked(e *epoch) error {
-	d := filepath.Join(st.dir, fmt.Sprintf("epoch%d", e.step))
-	if err := os.MkdirAll(d, 0o755); err != nil {
-		return fmt.Errorf("ckpt: spill: %w", err)
-	}
-	for rank, s := range e.snaps {
-		f, err := os.Create(filepath.Join(d, fmt.Sprintf("rank%d.ckpt", rank)))
-		if err != nil {
-			return fmt.Errorf("ckpt: spill: %w", err)
-		}
-		if err := s.EncodeTo(f); err != nil {
-			f.Close()
-			return fmt.Errorf("ckpt: spill rank %d: %w", rank, err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("ckpt: spill rank %d: %w", rank, err)
+	for _, s := range e.snaps {
+		if err := Spill(st.dir, s); err != nil {
+			return err
 		}
 	}
-	return nil
+	return WriteManifest(st.dir, e.step, st.ranks)
 }
 
 // Latest returns rank's snapshot from the newest COMPLETE epoch, or nil if

@@ -21,8 +21,10 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/bricklab/brick/internal/metrics"
@@ -58,6 +60,16 @@ const (
 	// detected at delivery and aborts the world; without it the corruption
 	// propagates silently into the results.
 	KindCorrupt Kind = "corrupt"
+	// KindKill raises SIGKILL on the calling process just before the rank's
+	// Nth send — a hard worker death (OOM-killer shaped) that only the
+	// cross-process supervisor (internal/mpi/proc) can observe and recover.
+	// Meaningless on in-process transports, where it would kill the whole
+	// world including the supervisor; the harness rejects it there.
+	KindKill Kind = "kill"
+	// KindExit exits the calling process with a chosen nonzero status just
+	// before the rank's Nth send — the plain-exit sibling of kill, same
+	// supervision requirement.
+	KindExit Kind = "exit"
 )
 
 // AnyRank is the rank filter meaning "every rank" (spec: rank=*).
@@ -91,6 +103,15 @@ type corruptClause struct {
 	flips int // bytes to flip (>= 1)
 }
 
+// procClause: kill or exit the process hosting the rank at its nth send
+// (1-based).
+type procClause struct {
+	rank int
+	nth  int64
+	code int  // exit status for exit clauses
+	exit bool // os.Exit(code) instead of SIGKILL
+}
+
 // ByteFlip is one injected payload corruption: XOR the byte at offset Off
 // (into the payload's little-endian float64 bytes) with the non-zero Mask.
 type ByteFlip struct {
@@ -111,11 +132,13 @@ type Injector struct {
 	mapFails   []stepClause // step < 0: at allocation
 	allocFails []stepClause // step unused
 	corrupts   []corruptClause
+	procs      []procClause
 
 	mu         sync.Mutex
 	rngs       map[int]*rand.Rand
 	sends      map[int]int64
 	panicFired map[panicKey]bool // one-shot: a crash is an event, not a property of the step
+	procSkips  map[int]int       // per-rank process-fault matches to swallow (respawned lives)
 	reg        *metrics.Registry
 	counters   map[counterKey]*metrics.Counter
 }
@@ -138,6 +161,7 @@ func New(seed int64) *Injector {
 	return &Injector{
 		seed: seed, rngs: map[int]*rand.Rand{},
 		sends: map[int]int64{}, panicFired: map[panicKey]bool{},
+		procSkips: map[int]int{},
 	}
 }
 
@@ -147,7 +171,14 @@ func (in *Injector) Enabled() bool {
 		return false
 	}
 	return len(in.delays)+len(in.stalls)+len(in.panics)+len(in.mapFails)+
-		len(in.allocFails)+len(in.corrupts) > 0
+		len(in.allocFails)+len(in.corrupts)+len(in.procs) > 0
+}
+
+// HasProcessFaults reports whether any kill/exit clause is present. These
+// clauses kill the calling OS process, so only supervised (cross-process)
+// runs can arm them; drivers use this to reject them elsewhere.
+func (in *Injector) HasProcessFaults() bool {
+	return in != nil && len(in.procs) > 0
 }
 
 // Seed returns the PRNG seed.
@@ -308,6 +339,64 @@ func (in *Injector) CorruptSend(rank, elems int) []ByteFlip {
 	return out
 }
 
+// SkipProcessFaults arms respawn determinism: the next n process-fault
+// matches on the rank are swallowed instead of fired. A respawned worker
+// calls it with its incarnation number — each previous life died to
+// exactly one firing, so skipping that many replays lets the new life run
+// past the faults that already happened and reach any later clause (or
+// finish).
+func (in *Injector) SkipProcessFaults(rank, n int) {
+	if in == nil || n <= 0 {
+		return
+	}
+	in.mu.Lock()
+	in.procSkips[rank] += n
+	in.mu.Unlock()
+}
+
+// ProcessFault kills the calling process — SIGKILL for kill clauses, a
+// plain exit for exit clauses — when one matches the rank's current send
+// ordinal (the cumulative counter SendDelay advances; the mpi layer calls
+// SendDelay first, then ProcessFault, for the same send). It returns
+// normally when nothing matches. Deaths are deterministic program points,
+// like stalls and corruption, so a supervised run dies at the same send
+// every time.
+func (in *Injector) ProcessFault(rank int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	if len(in.procs) == 0 {
+		in.mu.Unlock()
+		return
+	}
+	nth := in.sends[rank]
+	for _, c := range in.procs {
+		if !matchRank(c.rank, rank) || c.nth != nth {
+			continue
+		}
+		if in.procSkips[rank] > 0 {
+			in.procSkips[rank]--
+			continue
+		}
+		kind := KindKill
+		if c.exit {
+			kind = KindExit
+		}
+		in.countLocked(kind, rank)
+		in.mu.Unlock()
+		if c.exit {
+			os.Exit(c.code)
+		}
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		// SIGKILL is not deliverable-to-self synchronously in every
+		// runtime state; block until it lands rather than return and
+		// let the send proceed.
+		select {}
+	}
+	in.mu.Unlock()
+}
+
 // MapFailAtAlloc reports whether the rank's MemMap arena allocation must
 // degrade to an unmapped (heap) arena — a mapfail clause without a step.
 func (in *Injector) MapFailAtAlloc(rank int) bool {
@@ -399,5 +488,17 @@ func (in *Injector) WithCorrupt(rank int, nth int64, flips int) *Injector {
 		flips = 1
 	}
 	in.corrupts = append(in.corrupts, corruptClause{rank: rank, nth: nth, flips: flips})
+	return in
+}
+
+// WithKill adds a SIGKILL-self clause at the rank's nth send (1-based).
+func (in *Injector) WithKill(rank int, nth int64) *Injector {
+	in.procs = append(in.procs, procClause{rank: rank, nth: nth})
+	return in
+}
+
+// WithExit adds an exit-self clause (status code) at the rank's nth send.
+func (in *Injector) WithExit(rank int, nth int64, code int) *Injector {
+	in.procs = append(in.procs, procClause{rank: rank, nth: nth, code: code, exit: true})
 	return in
 }

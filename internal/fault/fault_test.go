@@ -20,6 +20,11 @@ func TestParseEmptyDisablesInjection(t *testing.T) {
 	}
 	in.StepPanic(0, 0) // must not panic
 	in.SetMetrics(nil) // must not crash
+	in.ProcessFault(0) // must not kill the test binary
+	in.SkipProcessFaults(0, 1)
+	if in.HasProcessFaults() {
+		t.Error("nil injector claims process faults")
+	}
 }
 
 func TestParseErrors(t *testing.T) {
@@ -224,6 +229,68 @@ func TestCorruptSendDeterministic(t *testing.T) {
 			t.Fatalf("flip %d differs: %+v vs %+v", i, a[i], b[i])
 		}
 	}
+}
+
+// TestParseProcessFaults: the kill/exit grammar. rank=* is rejected (a
+// clause that kills every worker leaves nothing to recover), exit needs an
+// in-range status, and parsed clauses round-trip and report themselves via
+// HasProcessFaults so drivers can refuse them off the supervised path.
+func TestParseProcessFaults(t *testing.T) {
+	spec := "kill:rank=3:nth=2,exit:rank=1:code=7"
+	in := MustParse(spec, 1)
+	if !in.HasProcessFaults() || len(in.procs) != 2 {
+		t.Fatalf("clause counts wrong: %+v", in)
+	}
+	if in.String() != spec {
+		t.Errorf("round trip: %q", in.String())
+	}
+	k, e := in.procs[0], in.procs[1]
+	if k.rank != 3 || k.nth != 2 || k.exit {
+		t.Errorf("kill clause = %+v", k)
+	}
+	if e.rank != 1 || e.nth != 1 || !e.exit || e.code != 7 {
+		t.Errorf("exit clause = %+v (nth defaults to 1)", e)
+	}
+	if MustParse("delay:rank=0:mean=1ms", 1).HasProcessFaults() {
+		t.Error("delay-only injector claims process faults")
+	}
+	for _, bad := range []string{
+		"kill:rank=*",          // must name one rank
+		"kill",                 // ditto (empty rank means *)
+		"kill:rank=0:nth=0",    // nth is 1-based
+		"kill:rank=0:code=3",   // code is exit-only
+		"exit:rank=0",          // missing status
+		"exit:rank=0:code=0",   // zero is success, not a death
+		"exit:rank=0:code=256", // out of the 8-bit status range
+		"exit:rank=*:code=3",   // must name one rank
+		"kill:rank=0:step=2",   // unknown field for kind
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSkipProcessFaults: the respawn-determinism contract. A respawned
+// worker skips as many clause matches as it has dead predecessor lives; a
+// broken skip would exit this very test process, so surviving the matching
+// ordinal IS the assertion. Uses exit (not kill) so a regression fails the
+// test run with a status instead of vanishing it.
+func TestSkipProcessFaults(t *testing.T) {
+	in := New(1).WithExit(0, 2, 7).WithExit(0, 4, 9)
+	in.SkipProcessFaults(0, 1)
+	for i := 1; i <= 3; i++ {
+		in.SendDelay(0)
+		in.ProcessFault(0) // send 2's clause must be swallowed by the skip
+	}
+	// The skip is per-rank: rank 1 has no skips and no matching clause.
+	in.SendDelay(1)
+	in.ProcessFault(1)
+	// A second skip covers the nth=4 clause too; without it, the next
+	// ProcessFault(0) would exit 9.
+	in.SkipProcessFaults(0, 1)
+	in.SendDelay(0)
+	in.ProcessFault(0)
 }
 
 func TestStepPanicOneShot(t *testing.T) {

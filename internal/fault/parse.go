@@ -17,10 +17,13 @@ import (
 //	mapfail:rank=2[:step=4]                degrade MemMap (alloc time, or step 4)
 //	allocfail:rank=2                       fail plan compile on rank 2
 //	corrupt:rank=1:nth=3[:flips=2]         flip bytes of rank 1's 3rd send in flight
+//	kill:rank=3[:nth=2]                    SIGKILL the rank's process at its 2nd send
+//	exit:rank=3:code=7[:nth=2]             exit the rank's process with status 7
 //
-// rank accepts a non-negative integer or * (every rank). Durations use Go
-// syntax (200us, 1ms, 2s). An empty spec yields a nil injector: injection
-// fully disabled, hooks cost one nil check.
+// rank accepts a non-negative integer or * (every rank); kill and exit
+// require a concrete rank — killing every worker leaves nothing to
+// recover. Durations use Go syntax (200us, 1ms, 2s). An empty spec yields
+// a nil injector: injection fully disabled, hooks cost one nil check.
 func Parse(spec string, seed int64) (*Injector, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -218,8 +221,43 @@ func (in *Injector) parseClause(clause string) error {
 			}
 		}
 		in.WithCorrupt(rank, nth, flips)
+	case KindKill, KindExit:
+		allowed := []string{"rank", "nth"}
+		if kind == KindExit {
+			allowed = append(allowed, "code")
+		}
+		f, err := fields(rest, allowed...)
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		if rank == AnyRank {
+			return fmt.Errorf("%s needs a concrete rank (rank=* would kill every worker)", kind)
+		}
+		nth := int64(1)
+		if v := f["nth"]; v != "" {
+			nth, err = strconv.ParseInt(v, 10, 64)
+			if err != nil || nth < 1 {
+				return fmt.Errorf("bad nth %q (1-based send index)", v)
+			}
+		}
+		if kind == KindKill {
+			in.WithKill(rank, nth)
+			return nil
+		}
+		if f["code"] == "" {
+			return fmt.Errorf("exit needs code=<nonzero status>")
+		}
+		code, err := strconv.Atoi(f["code"])
+		if err != nil || code < 1 || code > 255 {
+			return fmt.Errorf("bad code %q (exit status in [1,255])", f["code"])
+		}
+		in.WithExit(rank, nth, code)
 	default:
-		return fmt.Errorf("unknown kind %q (delay, stall, panic, mapfail, allocfail, corrupt)", parts[0])
+		return fmt.Errorf("unknown kind %q (delay, stall, panic, mapfail, allocfail, corrupt, kill, exit)", parts[0])
 	}
 	return nil
 }

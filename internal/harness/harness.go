@@ -120,8 +120,11 @@ type Config struct {
 	// across processes: the harness becomes a supervisor that spawns one
 	// worker process per rank over a shared-memory segment (see
 	// runSupervised and WorkerMain). Cross-process runs reject the
-	// observability hooks that cannot span processes — Metrics, Trace,
-	// Checkpoint, a caller-supplied FlightRec — and GPU (modeled) impls.
+	// observability hooks that cannot span processes — Metrics, Trace, a
+	// caller-supplied FlightRec — and GPU (modeled) impls. Checkpoint
+	// recovery works, but requires CheckpointDir: workers spill epochs to
+	// disk and the supervisor respawns crashed workers from the latest
+	// complete one (see docs/robustness.md).
 	Transport string
 	Ghost     int // ghost width in elements
 	Shape     core.Shape
@@ -306,6 +309,12 @@ type Result struct {
 	// Checksum is a global sum of the final field, for cross-implementation
 	// validation.
 	Checksum float64
+
+	// Recoveries is how many times the checkpoint drivers rewound the world
+	// and replayed — in-process world rewinds under chan, quarantine/respawn
+	// rounds under shmem supervision. Zero on fault-free runs; tests use it
+	// to prove an injected failure actually fired.
+	Recoveries int
 }
 
 // StepSeconds returns the average total time per timestep used for
@@ -333,10 +342,11 @@ func (c Config) Validate() error {
 	}
 	if c.supervised() {
 		// Worker ranks are separate processes: hooks that hand the caller a
-		// live in-process object cannot see them, and checkpoint recovery
-		// needs a respawnable world, which shmem is not.
-		if c.Checkpoint {
-			return fmt.Errorf("harness: checkpoint recovery is unsupported on transport %q (shmem worlds are not respawnable)", c.transportName())
+		// live in-process object cannot see them. Checkpoint recovery works —
+		// the supervisor respawns dead workers — but snapshots must cross
+		// process boundaries, so the disk spill is mandatory.
+		if c.Checkpoint && c.CheckpointDir == "" {
+			return fmt.Errorf("harness: checkpoint recovery on transport %q needs CheckpointDir: respawned workers restore from disk-spilled epochs", c.transportName())
 		}
 		if c.Impl.GPU() {
 			return fmt.Errorf("harness: GPU (modeled) impl %s is unsupported on transport %q", c.Impl, c.transportName())
@@ -473,6 +483,11 @@ func Run(cfg Config) (res Result, err error) {
 	inj, err := fault.Parse(cfg.Fault, cfg.FaultSeed)
 	if err != nil {
 		return Result{}, err
+	}
+	if inj.HasProcessFaults() && !cfg.supervised() {
+		// A kill/exit clause fires inside the rank's process — on the chan
+		// transport that is the harness (and test binary) itself.
+		return Result{}, fmt.Errorf("harness: fault %q kills rank processes; it needs a process-per-rank transport (-transport shmem)", cfg.Fault)
 	}
 	if cfg.supervised() {
 		// Workers re-parse the fault spec themselves; the parse above only

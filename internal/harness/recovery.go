@@ -17,6 +17,14 @@ import (
 // the recovery driver for one recoverable run. It owns the epoch store,
 // the checkpoint cadence, and the pre-failure plan digests that respawned
 // ranks must reproduce.
+//
+// It has two modes. In-process (chan transport): store is the world-wide
+// epoch store, every rank of the run deposits into it, and restore reads
+// store.Latest. Worker (shmem transport): store is nil — the process runs
+// one rank and cannot hold a world-wide epoch — and checkpoints go
+// straight to disk (ckpt.Spill per rank, rank 0 writing the manifest
+// behind a barrier); restore loads the epoch the supervisor pinned at the
+// recovery round (restoreStep, -1 for none).
 type ckptState struct {
 	store *ckpt.Store
 	every int // absolute-step checkpoint period
@@ -25,24 +33,66 @@ type ckptState struct {
 	rec   *trace.Recorder
 	fr    *flight.Recorder
 
+	// Worker (disk) mode: the spill directory, the world size for the
+	// manifest, and the restore step the supervisor published for this
+	// epoch (-1: restart from scratch).
+	dir         string
+	ranks       int
+	restoreStep int
+
 	mu      sync.Mutex
 	digests map[int]string // rank -> plan digest of the first build
 }
 
 func newCkptState(cfg Config) *ckptState {
-	every := cfg.CheckpointEvery
-	if every <= 0 {
-		every = 2
-	}
 	return &ckptState{
-		store:   ckpt.NewStore(cfg.ranks(), cfg.CheckpointDir),
-		every:   every,
-		impl:    cfg.Impl,
-		reg:     cfg.Metrics,
-		rec:     cfg.Trace,
-		fr:      cfg.FlightRec,
-		digests: map[int]string{},
+		store:       ckpt.NewStore(cfg.ranks(), cfg.CheckpointDir),
+		every:       ckptEvery(cfg),
+		impl:        cfg.Impl,
+		reg:         cfg.Metrics,
+		rec:         cfg.Trace,
+		fr:          cfg.FlightRec,
+		ranks:       cfg.ranks(),
+		restoreStep: -1,
+		digests:     map[int]string{},
 	}
+}
+
+// newWorkerCkptState builds the disk-mode state for one worker process's
+// epoch. restoreStep is the checkpoint step the supervisor pinned for this
+// epoch: -1 on a first run, the ckpt.ScanDir verdict after a recovery.
+func newWorkerCkptState(cfg Config, restoreStep int) *ckptState {
+	return &ckptState{
+		every:       ckptEvery(cfg),
+		impl:        cfg.Impl,
+		fr:          cfg.FlightRec,
+		dir:         cfg.CheckpointDir,
+		ranks:       cfg.ranks(),
+		restoreStep: restoreStep,
+		digests:     map[int]string{},
+	}
+}
+
+func ckptEvery(cfg Config) int {
+	if cfg.CheckpointEvery > 0 {
+		return cfg.CheckpointEvery
+	}
+	return 2
+}
+
+// latest returns rank's snapshot to restore from, or nil to start from
+// scratch. In-process mode serves the store's newest complete epoch;
+// worker mode loads (and CRC-verifies) the supervisor-pinned epoch from
+// disk — an unreadable pinned epoch is an error, not a silent fresh start,
+// because the supervisor already verified it when scanning.
+func (ck *ckptState) latest(rank int) (*ckpt.Snapshot, error) {
+	if ck.store != nil {
+		return ck.store.Latest(rank), nil
+	}
+	if ck.restoreStep < 0 {
+		return nil, nil
+	}
+	return ckpt.Load(ck.dir, ck.restoreStep, rank)
 }
 
 // noteDigest records rank's compiled plan digest on the first build and,
@@ -77,6 +127,24 @@ func (ck *ckptState) checkpoint(comm *mpi.Comm, rank, step int, capture func() *
 	ck.fr.Rank(rank).Record(flight.KindCkpt, -1, -1, -1, 0, 0)
 	end := ck.rec.Begin(rank, trace.KindCkpt, fmt.Sprintf("ckpt step=%d", step), -1, 0)
 	snap := capture()
+	if ck.store == nil {
+		// Worker (disk) mode: each rank spills its own snapshot; the closing
+		// barrier orders every spill before rank 0's manifest, the epoch's
+		// commit record. A crash anywhere in between leaves a manifest-less
+		// partial epoch that ScanDir skips.
+		if err := ckpt.Spill(ck.dir, snap); err != nil {
+			end()
+			comm.Abort(err)
+		}
+		end()
+		comm.Barrier()
+		if rank == 0 {
+			if err := ckpt.WriteManifest(ck.dir, step, ck.ranks); err != nil {
+				comm.Abort(err)
+			}
+		}
+		return
+	}
 	committed, err := ck.store.Put(snap)
 	if err != nil {
 		end()
@@ -128,7 +196,7 @@ func runRecoverable(cfg Config) (res Result, err error) {
 	defer detach()
 
 	perRankRecoveries := map[int]int{}
-	total := 0
+	total, recovered := 0, 0
 	var exhausted *mpi.AbortError
 	onRecover := func(ae *mpi.AbortError, attempt int) bool {
 		retry := total < budget
@@ -159,6 +227,7 @@ func runRecoverable(cfg Config) (res Result, err error) {
 			time.Sleep(d)
 		}
 		end()
+		recovered++
 		return true
 	}
 
@@ -179,5 +248,7 @@ func runRecoverable(cfg Config) (res Result, err error) {
 		}
 	}()
 	w.RunRecoverable(rankBody(cfg, perRank), onRecover)
-	return aggregate(cfg, perRank), nil
+	res = aggregate(cfg, perRank)
+	res.Recoveries = recovered
+	return res, nil
 }

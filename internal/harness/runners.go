@@ -203,7 +203,18 @@ func runBrickRank(cfg Config, cart *mpi.Cart) (Result, error) {
 		if err := ck.noteDigest(rank, ex.Plan().Digest()); err != nil {
 			return res, err
 		}
-		if snap := ck.store.Latest(rank); snap != nil {
+		snap, serr := ck.latest(rank)
+		if serr != nil {
+			return res, serr
+		}
+		if snap != nil {
+			// The snapshot's own digest pins the plan across processes: a
+			// respawned worker has no in-memory digest map, but the epoch it
+			// restores from remembers what the pre-crash world compiled.
+			if snap.Digest != "" && snap.Digest != ex.Plan().Digest() {
+				return res, fmt.Errorf("harness: rank %d re-paired plan digest %s differs from snapshot digest %s: replay would diverge",
+					rank, ex.Plan().Digest(), snap.Digest)
+			}
 			if len(snap.Bufs) != 1 || len(snap.Bufs[0]) != len(bs.Data) {
 				return res, fmt.Errorf("harness: rank %d snapshot shape mismatch (want 1 buffer of %d floats)",
 					rank, len(bs.Data))
@@ -436,7 +447,16 @@ func runGridRank(cfg Config, cart *mpi.Cart) (Result, error) {
 		if err := ck.noteDigest(rank, digest); err != nil {
 			return res, err
 		}
-		if snap := ck.store.Latest(rank); snap != nil {
+		snap, serr := ck.latest(rank)
+		if serr != nil {
+			return res, serr
+		}
+		if snap != nil {
+			// Cross-process plan pinning via the snapshot, as in runBrickRank.
+			if snap.Digest != "" && snap.Digest != digest {
+				return res, fmt.Errorf("harness: rank %d re-paired plan digest %s differs from snapshot digest %s: replay would diverge",
+					rank, digest, snap.Digest)
+			}
 			if len(snap.Bufs) != 2 || len(snap.Bufs[0]) != len(gs[0].Data) || len(snap.Bufs[1]) != len(gs[1].Data) {
 				return res, fmt.Errorf("harness: rank %d snapshot shape mismatch (want 2 buffers of %d floats)",
 					rank, len(gs[0].Data))

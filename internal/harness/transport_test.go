@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -157,7 +158,7 @@ func TestSupervisedGates(t *testing.T) {
 		name string
 		mut  func(*Config)
 	}{
-		{"checkpoint", func(c *Config) { c.Checkpoint = true }},
+		{"checkpoint-without-dir", func(c *Config) { c.Checkpoint = true }},
 		{"gpu-impl", func(c *Config) { c.Impl = GPULayoutCA }},
 		{"metrics", func(c *Config) { c.Metrics = metrics.NewRegistry() }},
 		{"trace", func(c *Config) { c.Trace = trace.NewRecorder() }},
@@ -170,13 +171,98 @@ func TestSupervisedGates(t *testing.T) {
 			t.Errorf("%s: accepted on a supervised transport", tc.name)
 		}
 	}
-	// The same hooks stay valid in-process.
+	// Checkpoint recovery IS supported supervised — it just needs the disk
+	// spill so respawned workers have somewhere to restore from.
 	cfg := base
+	cfg.Checkpoint = true
+	cfg.CheckpointDir = t.TempDir()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("supervised checkpoint with a spill dir rejected: %v", err)
+	}
+	// The same hooks stay valid in-process.
+	cfg = base
 	cfg.Transport = ""
 	cfg.Metrics = metrics.NewRegistry()
 	cfg.Trace = trace.NewRecorder()
 	if err := cfg.Validate(); err != nil {
 		t.Errorf("in-process hooks rejected: %v", err)
+	}
+}
+
+// TestProcessFaultsNeedSupervision: a kill/exit clause on the in-process
+// chan transport would SIGKILL the harness itself; Run must reject it
+// before any rank starts.
+func TestProcessFaultsNeedSupervision(t *testing.T) {
+	cfg := baseConfig(Layout)
+	cfg.Fault = "kill:rank=1:nth=2"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("kill clause accepted on the chan transport")
+	}
+}
+
+// TestSupervisedRecoveryAllImpls is this PR's acceptance gate, crossing
+// the checkpoint-recovery gate with the transport-parity gate: every
+// measured CPU implementation, run as eight worker processes over a shared
+// segment, must survive an injected SIGKILL of one worker mid-run — the
+// supervisor quarantines the dead rank, respawns it, and the world replays
+// from the latest disk-spilled checkpoint epoch — and still produce a
+// math.Float64bits-identical checksum versus a fault-free in-process run.
+func TestSupervisedRecoveryAllImpls(t *testing.T) {
+	skipWithoutShmem(t)
+	for _, im := range SoakImpls {
+		im := im
+		t.Run(im.String(), func(t *testing.T) {
+			clean := supervisedConfig(im)
+			clean.Transport = ""
+			clean.Watchdog = 0
+			cres, err := Run(clean)
+			if err != nil {
+				t.Fatalf("fault-free chan run: %v", err)
+			}
+			cfg := supervisedConfig(im)
+			cfg.Fault = "kill:rank=3:nth=2"
+			cfg.Checkpoint = true
+			cfg.CheckpointEvery = 2
+			cfg.CheckpointDir = t.TempDir()
+			rres, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("supervised run did not recover from SIGKILL: %v", err)
+			}
+			if rres.Recoveries == 0 {
+				t.Fatal("injected kill never fired: zero recovery rounds")
+			}
+			if math.Float64bits(cres.Checksum) != math.Float64bits(rres.Checksum) {
+				t.Fatalf("recovered checksum diverged: fault-free chan %v, recovered shmem %v",
+					cres.Checksum, rres.Checksum)
+			}
+			if math.Abs(cres.Checksum) < 1e-9 {
+				t.Fatalf("degenerate checksum %v", cres.Checksum)
+			}
+		})
+	}
+}
+
+// TestSupervisedRecoveryBudgetExhausted: when a rank keeps dying past
+// MaxRecoveries, the run must return (not hang) with the budget error
+// wrapping the original death — the fatal signal named — and every
+// survivor unwound. Two kill clauses at different send ordinals make the
+// respawned incarnation die again after skipping the clause its first
+// life died to.
+func TestSupervisedRecoveryBudgetExhausted(t *testing.T) {
+	skipWithoutShmem(t)
+	cfg := supervisedConfig(Layout)
+	cfg.Fault = "kill:rank=1:nth=2,kill:rank=1:nth=4"
+	cfg.Checkpoint = true
+	cfg.CheckpointDir = t.TempDir()
+	cfg.MaxRecoveries = 1
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("exhausted recovery budget did not surface as an error")
+	}
+	for _, want := range []string{"recovery budget exhausted after 1", "SIGKILL"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("budget error lacks %q:\n%v", want, err)
+		}
 	}
 }
 

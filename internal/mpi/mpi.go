@@ -296,6 +296,7 @@ func (c *Comm) Isend(dst, tag int, buf []float64) *Request {
 		if d := f.SendDelay(c.rank); d > 0 {
 			time.Sleep(d)
 		}
+		f.ProcessFault(c.rank)
 		flips = f.CorruptSend(c.rank, len(buf))
 	}
 	c.sentMsgs.Add(1)

@@ -360,6 +360,7 @@ func (r *Request) Start() {
 			if d := f.SendDelay(c.rank); d > 0 {
 				time.Sleep(d)
 			}
+			f.ProcessFault(c.rank)
 		}
 		c.sentMsgs.Add(1)
 		c.sentBytes.Add(int64(8 * n))

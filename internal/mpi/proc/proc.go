@@ -18,21 +18,31 @@
 //   - BRICK_WORKER_LOGS optionally names the directory for per-rank
 //     worker logs (default: a temp dir that is removed on success).
 //
+// Everything else a worker needs — its incarnation, the checkpoint step a
+// respawned epoch restores from — lives in the segment itself, so a
+// respawn is spawned with the identical environment as a first life.
+//
 // A worker that reaches its body always exits 0 and carries failures —
 // including world aborts — inside the envelope's Err field; a nonzero exit
 // therefore means the process died hard (panic outside the protocol,
-// SIGKILL, OOM), and the supervisor kills the world so surviving workers
-// unwind instead of spinning on a dead peer.
+// SIGKILL, OOM). Without a recovery policy the supervisor kills the world
+// so surviving workers unwind instead of spinning on a dead peer; with one
+// (Options.Recover) it runs cross-process recovery rounds — quarantine the
+// segment, respawn the dead rank from the latest checkpoint, release the
+// parked survivors — until the run completes or the policy gives up.
 package proc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/bricklab/brick/internal/mpi"
 )
@@ -59,6 +69,10 @@ func IsWorker() bool { return os.Getenv(EnvRank) != "" }
 type Worker struct {
 	// Rank is the single rank this process runs.
 	Rank int
+	// Incarnation is this process's life number for its rank: 0 for a
+	// first spawn, bumped once per crash-respawn cycle (read from the
+	// segment's per-rank incarnation word at attach).
+	Incarnation uint64
 	// Spec holds the supervisor's opaque spec bytes.
 	Spec []byte
 
@@ -67,11 +81,83 @@ type Worker struct {
 
 // Envelope is one worker's result, written to its result file and
 // collected by the supervisor. Err carries the rank's failure — including
-// a world abort — as a rendered string; Result the caller's payload.
+// a world abort — as a rendered string; Result the caller's payload;
+// Incarnation which life of the rank produced it.
 type Envelope struct {
-	Rank   int             `json:"rank"`
-	Result json.RawMessage `json:"result,omitempty"`
-	Err    string          `json:"err,omitempty"`
+	Rank        int             `json:"rank"`
+	Incarnation uint64          `json:"incarnation,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Err         string          `json:"err,omitempty"`
+}
+
+// Death describes a hard worker death: the process exited nonzero or on a
+// signal instead of reporting an envelope.
+type Death struct {
+	// Rank and Incarnation identify which life of which rank died.
+	Rank        int
+	Incarnation uint64
+	// Signal names the fatal signal ("SIGKILL", "SIGSEGV", ...) when the
+	// process was signaled; empty for a plain nonzero exit, in which case
+	// Code holds the exit status.
+	Signal string
+	Code   int
+	// Err is the underlying wait error.
+	Err error
+}
+
+// How renders the death's mechanism: the signal name, or the exit status.
+func (d *Death) How() string {
+	if d.Signal != "" {
+		return d.Signal
+	}
+	return fmt.Sprintf("exit status %d", d.Code)
+}
+
+func (d *Death) String() string {
+	return fmt.Sprintf("rank %d worker (incarnation %d) died: %s", d.Rank, d.Incarnation, d.How())
+}
+
+// signame maps fatal signals to their conventional names; Go's
+// syscall.Signal.String renders prose ("killed") that log scrapers and
+// tests cannot match portably.
+func signame(s syscall.Signal) string {
+	switch s {
+	case syscall.SIGKILL:
+		return "SIGKILL"
+	case syscall.SIGSEGV:
+		return "SIGSEGV"
+	case syscall.SIGABRT:
+		return "SIGABRT"
+	case syscall.SIGBUS:
+		return "SIGBUS"
+	case syscall.SIGILL:
+		return "SIGILL"
+	case syscall.SIGFPE:
+		return "SIGFPE"
+	case syscall.SIGTERM:
+		return "SIGTERM"
+	case syscall.SIGINT:
+		return "SIGINT"
+	}
+	return fmt.Sprintf("signal %d", int(s))
+}
+
+// deathOf classifies a nonzero Wait result.
+func deathOf(rank int, inc uint64, err error) *Death {
+	d := &Death{Rank: rank, Incarnation: inc, Code: -1, Err: err}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		if ws, ok := ee.Sys().(syscall.WaitStatus); ok {
+			if ws.Signaled() {
+				d.Signal = signame(ws.Signal())
+				return d
+			}
+			d.Code = ws.ExitStatus()
+			return d
+		}
+		d.Code = ee.ExitCode()
+	}
+	return d
 }
 
 // Attach joins this worker process to its world: it reads the contract
@@ -103,7 +189,12 @@ func Attach() (*Worker, *mpi.World, error) {
 		w.Close()
 		return nil, nil, fmt.Errorf("proc: rank %d out of range (world size %d)", rank, w.Size())
 	}
-	return &Worker{Rank: rank, Spec: spec, resultPath: resultPath}, w, nil
+	return &Worker{
+		Rank:        rank,
+		Incarnation: w.ShmemIncarnation(rank),
+		Spec:        spec,
+		resultPath:  resultPath,
+	}, w, nil
 }
 
 // Report writes the worker's envelope: result is JSON-encoded (nil leaves
@@ -111,7 +202,7 @@ func Attach() (*Worker, *mpi.World, error) {
 // is atomic (temp file + rename) so the supervisor never reads a torn
 // envelope from a worker killed mid-write.
 func (wk *Worker) Report(result any, runErr error) error {
-	env := Envelope{Rank: wk.Rank}
+	env := Envelope{Rank: wk.Rank, Incarnation: wk.Incarnation}
 	if result != nil {
 		b, err := json.Marshal(result)
 		if err != nil {
@@ -139,9 +230,30 @@ type Options struct {
 	// supervisor's own executable.
 	Bin string
 	// LogDir receives per-rank worker logs (rank<N>.log, combined
-	// stdout+stderr); empty resolves EnvLogs, then a temp dir removed when
-	// every worker exits cleanly and kept (with a notice) otherwise.
+	// stdout+stderr; a respawned incarnation appends to its rank's log);
+	// empty resolves EnvLogs, then a temp dir removed when every worker
+	// exits cleanly and kept (with a notice) otherwise.
 	LogDir string
+	// Recover, when non-nil, arms cross-process recovery: instead of
+	// killing the run on the first failure, the supervisor runs recovery
+	// rounds. On each round — triggered by a hard worker death, or by a
+	// published world abort with every live rank parked — it waits for
+	// quiescence and calls Recover with the 1-based round number, the
+	// first hard death of the round (nil for a soft abort), and the
+	// published abort message. A retry verdict names the checkpoint step
+	// to restore (-1 to restart from scratch): the supervisor quarantines
+	// the segment and respawns the dead ranks' processes. On give-up the
+	// parked survivors unwind through their envelopes and Run returns the
+	// death (or the envelopes, for a soft abort) as it would without
+	// recovery. Workers must park at the cross-process recovery barrier
+	// when their world aborts (mpi.World.ShmemParkForRecovery) for rounds
+	// to converge.
+	Recover func(attempt int, death *Death, abortMsg string) (restoreStep int, retry bool)
+	// ConvergeTimeout bounds how long a recovery round waits for every
+	// rank to park, exit, or die before the supervisor gives up and kills
+	// the remaining workers (default 2 minutes). A miss means a worker
+	// wedged so hard it cannot even reach the recovery barrier.
+	ConvergeTimeout time.Duration
 }
 
 // Run spawns one worker process per rank of w (a shmem world created by
@@ -149,11 +261,15 @@ type Options struct {
 // It returns every worker's envelope, ascending by rank.
 //
 // Failure handling is two-level. A worker that exits nonzero or vanishes
-// without an envelope died hard: Run kills the world — releasing the
-// surviving workers' cross-process waits — waits for the rest, and returns
-// an error carrying the dead worker's log tail. Workers that report
+// without an envelope died hard: without a recovery policy Run kills the
+// world — releasing the surviving workers' cross-process waits — waits for
+// the rest, and returns an error naming how the worker died (signal or
+// exit status, incarnation) with its log tail. Workers that report
 // protocol-level failures (world aborts) exit zero; those failures come
-// back inside the envelopes for the caller to interpret.
+// back inside the envelopes for the caller to interpret. With
+// Options.Recover armed, failures first go through recovery rounds; only
+// a give-up verdict (or an unrecoverable state: a rank completed and
+// exited, a convergence timeout) surfaces them.
 func Run(w *mpi.World, spec []byte, opt Options) ([]Envelope, error) {
 	seg := w.ShmemFile()
 	if seg == nil {
@@ -194,81 +310,110 @@ func Run(w *mpi.World, spec []byte, opt Options) ([]Envelope, error) {
 	}
 
 	size := w.Size()
-	type outcome struct {
-		rank int
-		err  error // hard death only
+	sup := &supervisor{
+		w: w, opt: opt, size: size,
+		bin: bin, seg: seg, logDir: logDir,
+		specPath: specPath,
+		resPaths: make([]string, size),
+		logs:     make([]*os.File, size),
+		cmds:     make([]*exec.Cmd, size),
+		state:    make([]workerState, size),
+		done:     make(chan outcome, size*4),
 	}
-	cmds := make([]*exec.Cmd, size)
-	logs := make([]*os.File, size)
-	resPaths := make([]string, size)
 	for r := 0; r < size; r++ {
-		resPaths[r] = filepath.Join(workDir, fmt.Sprintf("rank%d.json", r))
+		sup.resPaths[r] = filepath.Join(workDir, fmt.Sprintf("rank%d.json", r))
 		lf, err := os.Create(filepath.Join(logDir, fmt.Sprintf("rank%d.log", r)))
 		if err != nil {
 			return nil, fmt.Errorf("proc: rank %d log: %w", r, err)
 		}
-		logs[r] = lf
-		cmd := exec.Command(bin)
-		cmd.Env = append(os.Environ(),
-			EnvRank+"="+strconv.Itoa(r),
-			EnvSpec+"="+specPath,
-			EnvResult+"="+resPaths[r],
-		)
-		cmd.Stdout, cmd.Stderr = lf, lf
-		cmd.ExtraFiles = []*os.File{seg}
-		cmds[r] = cmd
+		sup.logs[r] = lf
 	}
-	done := make(chan outcome, size)
-	started := 0
-	var firstErr error
-	for r := 0; r < size; r++ {
-		if err := cmds[r].Start(); err != nil {
-			firstErr = fmt.Errorf("proc: spawning rank %d worker: %w", r, err)
-			break
+	defer func() {
+		for _, lf := range sup.logs {
+			lf.Close()
 		}
-		started++
-		go func(r int) {
-			done <- outcome{rank: r, err: cmds[r].Wait()}
-		}(r)
-	}
-	if firstErr != nil {
-		// Some workers are already running against a world that will never
-		// be complete; kill it so they unwind, then reap them.
-		w.Kill(firstErr)
-	}
+	}()
 
-	var hardDeaths []outcome
-	for i := 0; i < started; i++ {
-		oc := <-done
-		if oc.err == nil {
-			continue
-		}
-		if len(hardDeaths) == 0 {
-			// First hard death: surviving workers may be blocked on the dead
-			// peer forever. Kill the world so their polling waits unwind;
-			// they then exit cleanly with the abort in their envelopes.
-			w.Kill(fmt.Errorf("proc: rank %d worker died: %v", oc.rank, oc.err))
-		}
-		hardDeaths = append(hardDeaths, oc)
+	envs, err := sup.run()
+	if err != nil {
+		return nil, err
 	}
-	for r := 0; r < size; r++ {
-		logs[r].Close()
+	if logDirOwned {
+		os.RemoveAll(logDir)
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if len(hardDeaths) > 0 {
-		oc := hardDeaths[0]
-		return nil, fmt.Errorf("proc: rank %d worker died hard (%v); logs in %s\n%s",
-			oc.rank, oc.err, logDir, logTail(filepath.Join(logDir, fmt.Sprintf("rank%d.log", oc.rank))))
-	}
+	return envs, nil
+}
 
-	envs := make([]Envelope, size)
-	for r := 0; r < size; r++ {
-		b, err := os.ReadFile(resPaths[r])
+type workerState int
+
+const (
+	wsRunning workerState = iota
+	wsExited              // clean exit; envelope collected at the end
+	wsDead                // died hard this round, respawn pending or terminal
+)
+
+type outcome struct {
+	rank int
+	err  error // non-nil = hard death
+}
+
+// supervisor is the state of one Run: per-rank processes, their log files
+// (held open across respawns so incarnations append to one log), and the
+// outcome channel worker-wait goroutines post to.
+type supervisor struct {
+	w    *mpi.World
+	opt  Options
+	size int
+
+	bin, logDir, specPath string
+	seg                   *os.File
+	resPaths              []string
+	logs                  []*os.File
+	cmds                  []*exec.Cmd
+	state                 []workerState
+	running               int
+	done                  chan outcome
+}
+
+// spawn launches rank r's worker process (first life or respawn: the
+// environment is identical; the segment carries incarnation and restore
+// state).
+func (s *supervisor) spawn(r int) error {
+	cmd := exec.Command(s.bin)
+	cmd.Env = append(os.Environ(),
+		EnvRank+"="+strconv.Itoa(r),
+		EnvSpec+"="+s.specPath,
+		EnvResult+"="+s.resPaths[r],
+	)
+	cmd.Stdout, cmd.Stderr = s.logs[r], s.logs[r]
+	cmd.ExtraFiles = []*os.File{s.seg}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("proc: spawning rank %d worker: %w", r, err)
+	}
+	s.cmds[r] = cmd
+	s.state[r] = wsRunning
+	s.running++
+	go func() { s.done <- outcome{rank: r, err: cmd.Wait()} }()
+	return nil
+}
+
+// deathError renders the terminal hard-death error: the substring
+// "worker died hard" and the log tail are load-bearing for callers and
+// log scrapers.
+func (s *supervisor) deathError(d *Death) error {
+	return fmt.Errorf("proc: rank %d worker died hard (%s, incarnation %d); logs in %s\n%s",
+		d.Rank, d.How(), d.Incarnation, s.logDir,
+		logTail(filepath.Join(s.logDir, fmt.Sprintf("rank%d.log", d.Rank))))
+}
+
+// collect reads every rank's envelope after all workers exited cleanly.
+func (s *supervisor) collect() ([]Envelope, error) {
+	envs := make([]Envelope, s.size)
+	for r := 0; r < s.size; r++ {
+		b, err := os.ReadFile(s.resPaths[r])
 		if err != nil {
 			return nil, fmt.Errorf("proc: rank %d exited clean but left no envelope (%v); logs in %s\n%s",
-				r, err, logDir, logTail(filepath.Join(logDir, fmt.Sprintf("rank%d.log", r))))
+				r, err, s.logDir, logTail(filepath.Join(s.logDir, fmt.Sprintf("rank%d.log", r))))
 		}
 		if err := json.Unmarshal(b, &envs[r]); err != nil {
 			return nil, fmt.Errorf("proc: rank %d envelope: %w", r, err)
@@ -277,10 +422,195 @@ func Run(w *mpi.World, spec []byte, opt Options) ([]Envelope, error) {
 			return nil, fmt.Errorf("proc: rank %d envelope claims rank %d", r, envs[r].Rank)
 		}
 	}
-	if logDirOwned {
-		os.RemoveAll(logDir)
-	}
 	return envs, nil
+}
+
+// reap drains outcomes until no worker is running, killing the world once
+// (if not already dead) so survivors unwind.
+func (s *supervisor) reap(cause error) {
+	if s.running > 0 && cause != nil {
+		s.w.Kill(cause)
+	}
+	for s.running > 0 {
+		oc := <-s.done
+		s.state[oc.rank] = wsExited
+		if oc.err != nil {
+			s.state[oc.rank] = wsDead
+		}
+		s.running--
+	}
+}
+
+func (s *supervisor) run() ([]Envelope, error) {
+	for r := 0; r < s.size; r++ {
+		if err := s.spawn(r); err != nil {
+			// Some workers are already running against a world that will
+			// never be complete; kill it so they unwind, then reap them.
+			s.reap(err)
+			return nil, err
+		}
+	}
+	if s.opt.Recover == nil {
+		return s.runFailLoud()
+	}
+	return s.runSupervised()
+}
+
+// runFailLoud is the policy-free outcome loop: the first hard death kills
+// the world and surfaces as the error once every worker exited.
+func (s *supervisor) runFailLoud() ([]Envelope, error) {
+	var first *Death
+	for s.running > 0 {
+		oc := <-s.done
+		s.running--
+		if oc.err == nil {
+			s.state[oc.rank] = wsExited
+			continue
+		}
+		s.state[oc.rank] = wsDead
+		d := deathOf(oc.rank, s.w.ShmemIncarnation(oc.rank), oc.err)
+		if first == nil {
+			// First hard death: surviving workers may be blocked on the
+			// dead peer forever. Kill the world so their polling waits
+			// unwind; they then exit cleanly with the abort in their
+			// envelopes.
+			first = d
+			s.w.Kill(fmt.Errorf("proc: %v", d))
+		}
+	}
+	if first != nil {
+		return nil, s.deathError(first)
+	}
+	return s.collect()
+}
+
+// runSupervised is the recovery-armed outcome loop: hard deaths and soft
+// aborts trigger recovery rounds instead of ending the run.
+func (s *supervisor) runSupervised() ([]Envelope, error) {
+	convergeTimeout := s.opt.ConvergeTimeout
+	if convergeTimeout <= 0 {
+		convergeTimeout = 2 * time.Minute
+	}
+	attempt := 0
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.running == 0 {
+			// All exited cleanly — no round pending (deaths are handled the
+			// moment their outcome arrives below).
+			return s.collect()
+		}
+		var dead []*Death
+		select {
+		case oc := <-s.done:
+			s.running--
+			if oc.err == nil {
+				s.state[oc.rank] = wsExited
+				continue
+			}
+			s.state[oc.rank] = wsDead
+			dead = append(dead, deathOf(oc.rank, s.w.ShmemIncarnation(oc.rank), oc.err))
+		case <-tick.C:
+			// Soft-abort round: some rank published a world abort (injected
+			// panic, CRC corruption, watchdog stall) and no process died.
+			// The round begins once the abort is visible; convergence below
+			// waits out the ranks still unwinding toward the barrier.
+			if _, _, ok := s.w.ShmemAbort(); !ok {
+				continue
+			}
+		}
+
+		// --- recovery round ---
+		attempt++
+		if len(dead) > 0 {
+			// Ensure the abort is world-wide so survivors unwind and park.
+			s.w.Kill(fmt.Errorf("proc: %v", dead[0]))
+		}
+
+		// Convergence: every rank parked, exited, or dead.
+		deadline := time.Now().Add(convergeTimeout)
+		for {
+			drained := true
+			select {
+			case oc := <-s.done:
+				s.running--
+				if oc.err == nil {
+					s.state[oc.rank] = wsExited
+				} else {
+					s.state[oc.rank] = wsDead
+					dead = append(dead, deathOf(oc.rank, s.w.ShmemIncarnation(oc.rank), oc.err))
+				}
+				drained = false
+			default:
+			}
+			var want []int
+			for r := 0; r < s.size; r++ {
+				if s.state[r] == wsRunning {
+					want = append(want, r)
+				}
+			}
+			missing := s.w.ShmemAwaitParked(want, time.Now().Add(10*time.Millisecond))
+			if len(missing) == 0 && drained {
+				break
+			}
+			if time.Now().After(deadline) {
+				err := fmt.Errorf("proc: recovery round %d did not converge within %v (ranks %v neither parked nor exited)",
+					attempt, convergeTimeout, missing)
+				for _, r := range missing {
+					if s.cmds[r] != nil && s.cmds[r].Process != nil {
+						s.cmds[r].Process.Kill()
+					}
+				}
+				s.w.ShmemGiveUpRound()
+				s.reap(err)
+				return nil, err
+			}
+		}
+
+		exited := 0
+		for r := 0; r < s.size; r++ {
+			if s.state[r] == wsExited {
+				exited++
+			}
+		}
+		var firstDeath *Death
+		if len(dead) > 0 {
+			firstDeath = dead[0]
+		}
+
+		// Verdict. A completed rank's process already exited and cannot be
+		// replayed (mirror of the in-process rule), so any clean exit
+		// alongside a round forces give-up.
+		retry, restoreStep := false, -1
+		if exited == 0 {
+			_, abortMsg, _ := s.w.ShmemAbort()
+			restoreStep, retry = s.opt.Recover(attempt, firstDeath, abortMsg)
+		}
+		if !retry {
+			s.w.ShmemGiveUpRound()
+			s.reap(nil) // parked survivors wake, report, and exit 0
+			if firstDeath != nil {
+				return nil, s.deathError(firstDeath)
+			}
+			// Soft give-up: failures ride in the envelopes, as without
+			// recovery.
+			return s.collect()
+		}
+
+		deadRanks := make([]int, 0, len(dead))
+		for r := 0; r < s.size; r++ {
+			if s.state[r] == wsDead {
+				deadRanks = append(deadRanks, r)
+			}
+		}
+		s.w.ShmemResumeRound(deadRanks, restoreStep)
+		for _, r := range deadRanks {
+			if err := s.spawn(r); err != nil {
+				s.reap(err)
+				return nil, err
+			}
+		}
+	}
 }
 
 // logTailBytes bounds how much of a dead worker's log the supervisor

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
+	"syscall"
 	"testing"
 
 	"github.com/bricklab/brick/internal/mpi"
@@ -31,6 +33,29 @@ func runTestWorker() {
 	}
 	defer w.Close()
 	switch os.Getenv("PROC_TEST_MODE") {
+	case "sigkill":
+		// Rank 1 dies to SIGKILL — the OOM-killer shape — mid-world.
+		if wk.Rank == 1 {
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {}
+		}
+		var runErr error
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					ae, ok := p.(*mpi.AbortError)
+					if !ok {
+						panic(p)
+					}
+					runErr = ae
+				}
+			}()
+			w.RunRank(wk.Rank, func(c *mpi.Comm) { c.Barrier() })
+		}()
+		if err := wk.Report(nil, runErr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case "die":
 		// Rank 1 dies hard before running its rank; the others park in a
 		// barrier that only the supervisor's Kill can release.
@@ -132,6 +157,56 @@ func TestRunHardDeathKillsWorld(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "synthetic hard death marker") {
 		t.Fatalf("error does not carry the worker's log tail: %v", err)
+	}
+}
+
+// TestDeathClassification: deathOf reads real wait statuses — a fatal
+// signal yields its conventional name (not Go's prose rendering), a plain
+// nonzero exit yields its status — and How/String render them for the
+// supervisor's error and logs.
+func TestDeathClassification(t *testing.T) {
+	err := exec.Command("/bin/sh", "-c", "exit 3").Run()
+	if err == nil {
+		t.Fatal("exit 3 reported no error")
+	}
+	d := deathOf(2, 1, err)
+	if d.Signal != "" || d.Code != 3 {
+		t.Fatalf("exit death = %+v, want code 3, no signal", d)
+	}
+	if d.How() != "exit status 3" {
+		t.Fatalf("How() = %q", d.How())
+	}
+	if s := d.String(); !strings.Contains(s, "rank 2") || !strings.Contains(s, "incarnation 1") {
+		t.Fatalf("String() = %q lacks rank/incarnation", s)
+	}
+
+	err = exec.Command("/bin/sh", "-c", "kill -9 $$").Run()
+	if err == nil {
+		t.Fatal("self-SIGKILL reported no error")
+	}
+	d = deathOf(0, 0, err)
+	if d.Signal != "SIGKILL" {
+		t.Fatalf("signal death = %+v, want SIGKILL", d)
+	}
+	if d.How() != "SIGKILL" {
+		t.Fatalf("How() = %q, want the literal signal name", d.How())
+	}
+}
+
+// TestRunDeathNamesSignalAndIncarnation: the supervisor's terminal error
+// must say how the worker died (the fatal signal by name) and which life
+// it was, so a recovery post-mortem starts from the error line alone.
+func TestRunDeathNamesSignalAndIncarnation(t *testing.T) {
+	w := newShmemWorld(t, 2)
+	t.Setenv("PROC_TEST_MODE", "sigkill")
+	_, err := Run(w, []byte(`{}`), Options{LogDir: t.TempDir()})
+	if err == nil {
+		t.Fatal("SIGKILLed worker reported no error")
+	}
+	for _, want := range []string{"rank 1 worker died hard", "SIGKILL", "incarnation 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error lacks %q:\n%v", want, err)
+		}
 	}
 }
 

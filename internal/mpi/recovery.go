@@ -223,6 +223,12 @@ func (w *World) Respawn() {
 	if err := w.tr.reset(); err != nil {
 		panic(fmt.Sprintf("mpi: Respawn on transport %q: %v", w.tr.name(), err))
 	}
+	w.rearmAbort()
+}
+
+// rearmAbort resets the abort machinery so a respawned epoch fails loud on
+// its own terms. The caller must guarantee the world is quiescent.
+func (w *World) rearmAbort() {
 	w.abortVal.Store(nil)
 	w.abortOnce = sync.Once{}
 	w.abortCh = make(chan struct{})

@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Cross-process recovery rounds for shmem worlds. The in-process form
+// (recovery.go) parks rank goroutines at an in-memory barrier; here the
+// barrier is a set of per-rank words in the shared segment, the supervisor
+// (internal/mpi/proc) plays the RunRecoverable driver, and the verdict
+// crosses processes through three header words:
+//
+//	offRecGen      round generation; parked workers spin until it moves
+//	offRecVerdict  shmVerdictResume or shmVerdictGiveUp for the round
+//	offRecStep     checkpoint step+1 the resumed epoch restores from
+//
+// The dance per failed epoch, mirroring recovery.go's:
+//
+//  1. A worker dies hard (SIGKILL) or some rank publishes an abort. The
+//     supervisor ensures the abort is world-wide (World.Kill on a hard
+//     death) so every survivor's blocked operation unwinds.
+//  2. Each surviving worker recovers the *AbortError and parks in
+//     ShmemParkForRecovery: it sets its parked word and spins on the
+//     round generation. Parked ranks are visible in every process's
+//     StallReport as `recovery-parked` pending ops.
+//  3. The supervisor waits for convergence — every rank parked, exited,
+//     or dead — at which point the world is quiescent by construction:
+//     no process can touch rings, the persistent table, or collectives.
+//  4. Retry: ShmemResumeRound quarantines the segment (reset rings and
+//     endpoint staging, bump dead ranks' incarnations, publish the
+//     restore step), re-arms the local abort machinery, and bumps the
+//     generation with a resume verdict; the supervisor respawns dead
+//     ranks' processes. Survivors wake, wipe their local matching state,
+//     and re-enter the rank body, restoring from the published step.
+//  5. Give up: ShmemGiveUpRound bumps the generation with a give-up
+//     verdict and leaves the abort words intact, so waking workers can
+//     still report the cause; they exit through their envelopes instead
+//     of re-entering the body.
+
+// shm returns the world's shmem transport, or panics: the cross-process
+// recovery API is meaningful only on segment-backed worlds.
+func (w *World) shm(op string) *shmemTransport {
+	t, ok := w.tr.(*shmemTransport)
+	if !ok {
+		panic(fmt.Sprintf("mpi: %s on transport %q (shmem only)", op, w.tr.name()))
+	}
+	return t
+}
+
+// ShmemIncarnation reads rank's incarnation: 0 for a first life, bumped
+// once per respawn. Supervisors stamp it into result envelopes; workers
+// learn theirs at attach.
+func (w *World) ShmemIncarnation(rank int) uint64 {
+	return w.shm("ShmemIncarnation").incarnationOf(rank)
+}
+
+// ShmemRestoreStep reads the checkpoint step the current epoch restores
+// from (-1 when none). Survivors learn it from ShmemParkForRecovery's
+// return; a respawned worker, which never parked, reads it here after
+// attach — quarantine published it before the respawn was issued, and no
+// writer touches it until the next round, which cannot begin before this
+// worker parks or dies.
+func (w *World) ShmemRestoreStep() int {
+	return int(atomic.LoadUint64(w.shm("ShmemRestoreStep").w64(offRecStep))) - 1
+}
+
+// ShmemParked lists the ranks currently parked at the cross-process
+// recovery barrier, ascending.
+func (w *World) ShmemParked() []int {
+	t := w.shm("ShmemParked")
+	var out []int
+	for r := 0; r < t.l.size; r++ {
+		if atomic.LoadUint64(t.w64(t.l.parked+r*8)) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ShmemParkForRecovery parks the calling worker's rank at the recovery
+// barrier until the supervisor rules on the abort. resume=true means the
+// world was respawned: the caller must re-enter its rank body, restoring
+// from checkpoint step restoreStep (-1 when no checkpoint exists and the
+// epoch restarts from scratch). resume=false means recovery was refused
+// or the budget is exhausted; the caller reports its failure and exits.
+//
+// The round generation is read before the parked word is published:
+// the supervisor clears parked words and bumps the generation only after
+// observing every live rank parked, so a stale generation read would
+// require the supervisor to have completed a round this rank never
+// joined — impossible once our parked word is part of its convergence
+// wait.
+func (w *World) ShmemParkForRecovery(rank int) (resume bool, restoreStep int) {
+	t := w.shm("ShmemParkForRecovery")
+	gen := t.w64(offRecGen)
+	g0 := atomic.LoadUint64(gen)
+	atomic.StoreUint64(t.w64(t.l.parked+rank*8), 1)
+	var sp spinner
+	for atomic.LoadUint64(gen) == g0 {
+		sp.spin()
+	}
+	if atomic.LoadUint64(t.w64(offRecVerdict)) != shmVerdictResume {
+		return false, -1
+	}
+	restoreStep = int(atomic.LoadUint64(t.w64(offRecStep))) - 1
+	t.resetLocal()
+	w.rearmAbort()
+	return true, restoreStep
+}
+
+// ShmemAwaitParked blocks until every rank in want is parked at the
+// recovery barrier or the deadline passes; it reports the ranks still
+// missing (nil on success). The supervisor's convergence wait.
+func (w *World) ShmemAwaitParked(want []int, deadline time.Time) (missing []int) {
+	t := w.shm("ShmemAwaitParked")
+	var sp spinner
+	for {
+		missing = missing[:0]
+		for _, r := range want {
+			if atomic.LoadUint64(t.w64(t.l.parked+r*8)) == 0 {
+				missing = append(missing, r)
+			}
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return missing
+		}
+		sp.spin()
+	}
+}
+
+// ShmemResumeRound ends the current recovery round with a retry verdict:
+// quarantine the segment (dead ranks' incarnations bump; the new epoch
+// restores from checkpoint step restoreStep, -1 for none), re-arm the
+// local abort machinery, and release every parked worker into its next
+// epoch. The caller (the supervisor, with convergence established) then
+// respawns the dead ranks' processes.
+func (w *World) ShmemResumeRound(dead []int, restoreStep int) {
+	t := w.shm("ShmemResumeRound")
+	t.quarantine(dead, restoreStep)
+	t.resetLocal()
+	w.rearmAbort()
+	atomic.StoreUint64(t.w64(offRecVerdict), shmVerdictResume)
+	atomic.AddUint64(t.w64(offRecGen), 1)
+}
+
+// ShmemGiveUpRound ends the current recovery round with a give-up verdict:
+// parked workers wake, observe the verdict, and exit through their result
+// envelopes. The abort words stay published so the cause remains readable.
+func (w *World) ShmemGiveUpRound() {
+	t := w.shm("ShmemGiveUpRound")
+	for r := 0; r < t.l.size; r++ {
+		atomic.StoreUint64(t.w64(t.l.parked+r*8), 0)
+	}
+	atomic.StoreUint64(t.w64(offRecVerdict), shmVerdictGiveUp)
+	atomic.AddUint64(t.w64(offRecGen), 1)
+}

@@ -61,10 +61,12 @@ type Transport interface {
 	// leak tests (see World.PersistentPending).
 	persistentPending() (unmatched, live int)
 
-	// reset wipes all transport state for a Respawn (world quiescent). A
-	// backend that cannot rewind (shmem: the shared heap is append-only and
-	// peers are other processes) returns an error and RunRecoverable is
-	// unsupported on it.
+	// reset wipes all transport state for a Respawn (world quiescent).
+	// chan rebuilds its in-memory fabric; shmem quarantines the shared
+	// segment (re-seeds rings, staging, collectives, heap bump pointer)
+	// and wipes local matching state — cross-process callers must have
+	// established quiescence first (see recovery_shmem.go). A backend
+	// that cannot rewind returns an error and respawn is unsupported.
 	reset() error
 
 	// close releases transport resources (segments, fds). The world is

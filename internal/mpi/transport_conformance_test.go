@@ -339,6 +339,82 @@ func TestConformanceCRCCleanRun(t *testing.T) {
 	})
 }
 
+// TestConformanceRespawnCycle: the respawn/reinit contract. After a world
+// abort that strands wire state — an unmatched one-shot send, a posted
+// receive, a half-paired persistent endpoint — Respawn must return the
+// backend to a state indistinguishable from a fresh world: the next epoch's
+// one-shot matching, persistent pairing, and collectives all run clean, no
+// stale delivery from the failed epoch matches, and nothing stays pending
+// after Free. Runs twice to prove the cycle is repeatable, not a one-shot
+// reset.
+func TestConformanceRespawnCycle(t *testing.T) {
+	forEachTransport(t, 2, func(t *testing.T, w *World) {
+		for cycle := 0; cycle < 2; cycle++ {
+			ae := expectAbortOn(t, w, func(c *Comm) {
+				if c.Rank() == 0 {
+					c.Isend(1, 1, []float64{-1}) // stranded: never received
+					c.SendInit(1, 2, make([]float64, 4))
+					c.Abort(fmt.Errorf("conformance: die mid-cycle %d", cycle))
+				}
+				c.Irecv(0, 99, make([]float64, 1)).Wait() // never matched
+			})
+			if ae.Rank != 0 {
+				t.Fatalf("cycle %d: abort rank = %d, want 0", cycle, ae.Rank)
+			}
+			w.Respawn()
+			if n := w.tr.pendingCount(); n != 0 {
+				t.Fatalf("cycle %d: pendingCount after Respawn = %d, want 0", cycle, n)
+			}
+			w.Run(func(c *Comm) {
+				// One-shot on the same tag the stranded send used: the fresh
+				// epoch's payload must win, not the failed epoch's.
+				if c.Rank() == 0 {
+					c.Isend(1, 1, []float64{float64(10 + cycle)}).Wait()
+				} else {
+					got := make([]float64, 1)
+					c.Irecv(0, 1, got).Wait()
+					if got[0] != float64(10+cycle) {
+						t.Errorf("cycle %d: recv = %v, want %v (stale delivery?)", cycle, got[0], float64(10+cycle))
+					}
+				}
+				// Persistent pairing on the half-paired epoch's tag.
+				var r *Request
+				buf := make([]float64, 4)
+				if c.Rank() == 0 {
+					for i := range buf {
+						buf[i] = float64(cycle*100 + i)
+					}
+					r = c.SendInit(1, 2, buf)
+				} else {
+					r = c.RecvInit(0, 2, buf)
+				}
+				r.Start()
+				r.Wait()
+				if c.Rank() == 1 {
+					for i := range buf {
+						if buf[i] != float64(cycle*100+i) {
+							t.Fatalf("cycle %d: persistent elem %d = %v", cycle, i, buf[i])
+						}
+					}
+				}
+				r.Free()
+				// Collective sanity over the respawned seats.
+				sum := c.Allreduce(OpSum, []float64{float64(c.Rank() + 1)})
+				if sum[0] != 3 {
+					t.Errorf("cycle %d: Allreduce = %v, want 3", cycle, sum[0])
+				}
+				c.Barrier()
+			})
+			if ae := w.Aborted(); ae != nil {
+				t.Fatalf("cycle %d: post-respawn run aborted: %v", cycle, ae)
+			}
+			if un, live := w.PersistentPending(); un != 0 || live != 0 {
+				t.Errorf("cycle %d: PersistentPending = (%d, %d), want (0, 0)", cycle, un, live)
+			}
+		}
+	})
+}
+
 // TestConformancePersistentUnpairedWatchdog: mismatched persistent tags
 // must be reported as psend-unpaired/precv-unpaired on every backend.
 func TestConformancePersistentUnpairedWatchdog(t *testing.T) {

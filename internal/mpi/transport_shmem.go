@@ -76,7 +76,22 @@ const (
 	// process's watchdog samples it alongside its local counter, so a worker
 	// computing quietly while its peers move data is not misread as a stall.
 	offProgress = offAbortMsg + shmAbortMsgCap
-	shmHdrBytes = offProgress + 8
+	// Recovery round words (see recovery_shmem.go): the supervisor runs
+	// cross-process recovery rounds against these. offRecGen is the round
+	// generation — parked workers spin until it moves; offRecVerdict holds
+	// the round's verdict (shmVerdictResume/shmVerdictGiveUp) and
+	// offRecStep the checkpoint step to restore, encoded as step+1 so the
+	// zero word means "no checkpoint, restart from scratch".
+	offRecGen     = offProgress + 8
+	offRecVerdict = offProgress + 16
+	offRecStep    = offProgress + 24
+	shmHdrBytes   = offRecStep + 8
+)
+
+// Recovery round verdicts published at offRecVerdict.
+const (
+	shmVerdictResume = 1
+	shmVerdictGiveUp = 2
 )
 
 // Persistent-table entry word indices. One entry is one matched (or
@@ -151,6 +166,8 @@ type shmLayout struct {
 	redOut    int // shmCollFloats float64s
 	gathLens  int
 	gathSlots int
+	incs      int // per-rank incarnation words
+	parked    int // per-rank recovery-parked words
 	pers      int // shmMaxPers * peWords words
 	ringBytes int
 	rings     int // size rings
@@ -173,6 +190,10 @@ func shmLayoutFor(size, segBytes int) (shmLayout, error) {
 	off += size * 8
 	l.gathSlots = off
 	off += size * shmCollFloats * 8
+	l.incs = off
+	off += size * 8
+	l.parked = off
+	off += size * 8
 	l.pers = off
 	off += shmMaxPers * peWords * 8
 	l.ringBytes = 16 + shmRingSlots*16
@@ -194,6 +215,7 @@ type shmMsg struct {
 	off             int // heap offset of the payload floats
 	seq             uint64
 	crc             uint64
+	inc             uint64 // sender's incarnation at post (stale after respawn)
 	flipsOff        int
 	flipsCnt        int
 }
@@ -411,8 +433,87 @@ func (t *shmemTransport) progressShared() int64 {
 	return int64(atomic.LoadUint64(t.w64(offProgress)))
 }
 
+// incarnationOf reads rank's incarnation word: bumped by quarantine for
+// every dead rank, so a respawned worker self-identifies and pre-crash
+// deliveries are discarded at drain.
+func (t *shmemTransport) incarnationOf(rank int) uint64 {
+	return atomic.LoadUint64(t.w64(t.l.incs + rank*8))
+}
+
+// resetLocal clears this process's matching state — drained-but-unmatched
+// messages and posted receives stranded by an abort. Each attached process
+// must clear its own view before re-entering a respawned world; quarantine
+// only reaches the shared segment.
+func (t *shmemTransport) resetLocal() {
+	for r := range t.inbox {
+		ib := &t.inbox[r]
+		ib.mu.Lock()
+		ib.unmatched = nil
+		ib.posted = map[*shmRecv]struct{}{}
+		ib.mu.Unlock()
+	}
+}
+
+// quarantine re-seeds the segment's shared wire state for a new epoch. The
+// caller must guarantee quiescence: every rank parked, exited, or dead —
+// the supervisor's convergence wait (internal/mpi/proc) or Respawn's
+// contract establishes it. Rings are drained and re-sequenced, the
+// persistent-endpoint table and collective words cleared (the new epoch
+// re-pairs from scratch; FIFO pairing only holds if everyone starts
+// empty), and the heap bump pointer rewinds to its base — every staged
+// payload belonged to the dead epoch. Dead ranks get their incarnation
+// bumped so any block a crashed sender already published is discarded at
+// drain, and the checkpoint step the new epoch restores from is published
+// at offRecStep. Monotonic shared words (progress, recovery generation)
+// and live ranks' incarnations are preserved.
+func (t *shmemTransport) quarantine(dead []int, restoreStep int) {
+	l := t.l
+	// Abort words last published win; the new epoch fails loud on its own.
+	atomic.StoreUint64(t.w64(offAbortState), 0)
+	atomic.StoreUint64(t.w64(offAbortRank), 0)
+	atomic.StoreUint64(t.w64(offAbortMsgLen), 0)
+	atomic.StoreUint64(t.w64(offAbortClaim), 0)
+	// Collective seats.
+	atomic.StoreUint64(t.w64(offBarGen), 0)
+	atomic.StoreUint64(t.w64(offBarCount), 0)
+	atomic.StoreUint64(t.w64(offRedArrived), 0)
+	atomic.StoreUint64(t.w64(offRedLeft), 0)
+	atomic.StoreUint64(t.w64(offGathArrived), 0)
+	atomic.StoreUint64(t.w64(offGathLeft), 0)
+	atomic.StoreUint64(t.w64(l.redOutLen), 0)
+	// Persistent endpoint table, including staging-slot metadata.
+	cnt := int(atomic.LoadUint64(t.w64(offPersCount)))
+	if cnt > shmMaxPers {
+		cnt = shmMaxPers
+	}
+	for i := 0; i < cnt*peWords; i++ {
+		atomic.StoreUint64(t.w64(l.pers+i*8), 0)
+	}
+	atomic.StoreUint64(t.w64(offPersCount), 0)
+	atomic.StoreUint64(t.w64(offPersLock), 0)
+	// Rings: drop in-flight one-shot traffic, restore Vyukov slot seeding.
+	for r := 0; r < l.size; r++ {
+		base := l.rings + r*l.ringBytes
+		atomic.StoreUint64(t.w64(base), 0)
+		atomic.StoreUint64(t.w64(base+8), 0)
+		for i := 0; i < shmRingSlots; i++ {
+			atomic.StoreUint64(t.w64(base+16+i*16), uint64(i))
+		}
+	}
+	atomic.StoreUint64(t.w64(offHeapNext), uint64(l.heap))
+	for _, r := range dead {
+		atomic.AddUint64(t.w64(l.incs+r*8), 1)
+	}
+	for r := 0; r < l.size; r++ {
+		atomic.StoreUint64(t.w64(l.parked+r*8), 0)
+	}
+	atomic.StoreUint64(t.w64(offRecStep), uint64(restoreStep+1))
+}
+
 func (t *shmemTransport) reset() error {
-	return fmt.Errorf("shmem worlds are not respawnable: the segment heap is append-only and peer ranks may be other processes")
+	t.quarantine(nil, -1)
+	t.resetLocal()
+	return nil
 }
 
 func (t *shmemTransport) close() error {
@@ -423,8 +524,9 @@ func (t *shmemTransport) close() error {
 // ---- one-shot messages: per-rank MPSC rings over heap payload blocks ----
 
 // One-shot message block layout in the heap (words): src, tag, elems, seq,
-// flipsCnt, crc, then the payload floats, then flipsCnt (off, mask) pairs.
-const shmMsgHdr = 48
+// flipsCnt, crc, sender incarnation, then the payload floats, then
+// flipsCnt (off, mask) pairs.
+const shmMsgHdr = 56
 
 // ringPush publishes a message block to dst's ring (Vyukov MPSC: producers
 // claim tickets by CAS on head, the single consumer frees slots in order).
@@ -468,7 +570,13 @@ func (t *shmemTransport) drain(rank int) {
 			return
 		}
 		off := int(atomic.LoadUint64(t.w64(slot + 8)))
-		ib.unmatched = append(ib.unmatched, t.readMsg(off))
+		m := t.readMsg(off)
+		// Drop deliveries from a previous incarnation of the sender: a rank
+		// respawned after a crash must not have its pre-crash traffic matched
+		// against post-restore receives.
+		if m.inc == t.incarnationOf(m.src) {
+			ib.unmatched = append(ib.unmatched, m)
+		}
 		atomic.StoreUint64(seqp, tl+shmRingSlots)
 		atomic.StoreUint64(tail, tl+1)
 	}
@@ -482,6 +590,7 @@ func (t *shmemTransport) readMsg(off int) shmMsg {
 		seq:      *t.w64(off + 24),
 		flipsCnt: int(*t.w64(off + 32)),
 		crc:      *t.w64(off + 40),
+		inc:      *t.w64(off + 48),
 		off:      off + shmMsgHdr,
 	}
 	m.flipsOff = m.off + 8*m.elems
@@ -526,6 +635,7 @@ func (t *shmemTransport) isend(c *Comm, dst, tag int, buf []float64, flips []fau
 	if t.w.verifyCRC {
 		*t.w64(off + 40) = uint64(crcFloats(buf))
 	}
+	*t.w64(off + 48) = t.incarnationOf(c.rank)
 	copy(t.floats(off+shmMsgHdr, len(buf)), buf)
 	for i, f := range flips {
 		*t.w64(off + shmMsgHdr + 8*len(buf) + 16*i) = uint64(f.Off)
@@ -854,6 +964,13 @@ func (t *shmemTransport) pendingCount() int {
 			n++
 		}
 	}
+	// Ranks parked at the cross-process recovery barrier: visible world-wide
+	// so no process's watchdog misreads a recovery round as quiescence.
+	for r := 0; r < t.l.size; r++ {
+		if atomic.LoadUint64(t.w64(t.l.parked+r*8)) != 0 {
+			n++
+		}
+	}
 	bar, red, gath := t.collectiveWaiters()
 	return n + bar + red + gath
 }
@@ -948,6 +1065,13 @@ func (t *shmemTransport) pendingOps() []PendingOp {
 			ops = append(ops, PendingOp{
 				Kind: "precv-active", Src: src, Dst: dst, Tag: tag,
 				Bytes: int64(8 * t.pw(e, peRecvElems)), Persistent: true,
+			})
+		}
+	}
+	for r := 0; r < t.l.size; r++ {
+		if atomic.LoadUint64(t.w64(t.l.parked+r*8)) != 0 {
+			ops = append(ops, PendingOp{
+				Kind: "recovery-parked", Src: r, Dst: -1, Tag: -1,
 			})
 		}
 	}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -42,16 +43,80 @@ func TestShmemAbortForensics(t *testing.T) {
 	}
 }
 
-// TestShmemNotRespawnable: the shmem transport refuses reset — the segment
-// heap is append-only and peer ranks may be other processes, so
-// checkpoint/restart respawn is a chan-only feature.
-func TestShmemNotRespawnable(t *testing.T) {
-	w, err := NewWorldOn("shmem", 1)
+// TestShmemReset: the shmem transport rewinds — reset quarantines the
+// segment (rings re-seeded, staging and collectives cleared, heap bump
+// pointer rewound) and wipes local matching state, so checkpoint/restart
+// respawn works on segment-backed worlds too. A reset world must run a
+// fresh exchange cleanly and leave no pending state behind.
+func TestShmemReset(t *testing.T) {
+	w, err := NewWorldOn("shmem", 2)
 	if err != nil {
 		t.Fatalf("NewWorldOn(shmem): %v", err)
 	}
 	defer w.Close()
-	if err := w.tr.reset(); err == nil || !strings.Contains(err.Error(), "not respawnable") {
-		t.Fatalf("reset = %v, want not-respawnable error", err)
+	expectAbortOn(t, w, func(c *Comm) {
+		if c.Rank() == 0 {
+			// Leave a dangling one-shot send in the segment, then die.
+			c.Isend(1, 7, []float64{1, 2, 3})
+			c.Abort("synthetic mid-exchange failure")
+		}
+		c.Barrier()
+	})
+	if err := w.tr.reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	w.rearmAbort()
+	if n := w.tr.pendingCount(); n != 0 {
+		t.Fatalf("pendingCount after reset = %d, want 0", n)
+	}
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 9, []float64{4, 5}).Wait()
+			return
+		}
+		buf := make([]float64, 2)
+		c.Irecv(0, 9, buf).Wait()
+		if buf[0] != 4 || buf[1] != 5 {
+			t.Errorf("post-reset recv = %v, want [4 5]", buf)
+		}
+	})
+	if ae := w.Aborted(); ae != nil {
+		t.Fatalf("post-reset run aborted: %v", ae)
+	}
+}
+
+// TestShmemIncarnationFiltersStaleSends: every one-shot message is stamped
+// with its sender's incarnation at post, and the drain drops messages whose
+// stamp trails the sender's current incarnation word — a delivery from a
+// crashed life must never match a post-respawn receive, even if it slips
+// past the quarantine's ring re-seed.
+func TestShmemIncarnationFiltersStaleSends(t *testing.T) {
+	w, err := NewWorldOn("shmem", 2)
+	if err != nil {
+		t.Fatalf("NewWorldOn(shmem): %v", err)
+	}
+	defer w.Close()
+	tr := w.tr.(*shmemTransport)
+	c0 := w.newComm(0)
+
+	// Positive control: a current-incarnation message survives the drain.
+	tr.isend(c0, 1, 3, []float64{1}, nil, 1)
+	tr.drain(1)
+	if n := len(tr.inbox[1].unmatched); n != 1 {
+		t.Fatalf("current-incarnation message dropped (unmatched = %d, want 1)", n)
+	}
+	tr.resetLocal()
+
+	// The crash window: rank 0's old life published a message, then the
+	// supervisor bumped its incarnation word (quarantine). The delivery is
+	// stale and must be discarded, not queued for matching.
+	tr.isend(c0, 1, 3, []float64{6}, nil, 2)
+	atomic.AddUint64(tr.w64(tr.l.incs), 1)
+	tr.drain(1)
+	if n := len(tr.inbox[1].unmatched); n != 0 {
+		t.Fatalf("stale-incarnation message queued for matching (unmatched = %d, want 0)", n)
+	}
+	if got := w.ShmemIncarnation(0); got != 1 {
+		t.Fatalf("incarnation = %d, want 1", got)
 	}
 }
