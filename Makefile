@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt lint test race cover soak soak-recover bench bench-allocs bench-json bench-check
+.PHONY: all build vet fmt lint test race cover soak soak-recover bench bench-allocs bench-json bench-check netcal
 
 all: build vet fmt test
 
@@ -83,12 +83,22 @@ race:
 # it on failure; inspect with flightreport). See docs/robustness.md.
 SOAK_FAULT ?= delay:rank=*:mean=200us:jitter=0.5,stall:rank=3:nth=40:dur=5ms,mapfail:rank=1
 SOAK_FLIGHT ?= /tmp/brick-soak-flight.bin
-# SOAK_TRANSPORT=shmem runs every rank as a spawned worker process over a
-# shared segment (failed runs then leave one flight artifact per worker,
-# $(SOAK_FLIGHT).rank<N>, and worker logs under BRICK_WORKER_LOGS if set).
+# SOAK_TRANSPORT=shmem or tcp runs every rank as a spawned worker process —
+# over a shared segment or framed loopback TCP streams (failed runs then
+# leave one flight artifact per worker, $(SOAK_FLIGHT).rank<N>, and worker
+# logs under BRICK_WORKER_LOGS if set). On tcp the benign spec additionally
+# injects frame-layer delays (SOAK_NET_FAULT), jittering the stream timing
+# under the heartbeat/watchdog machinery; drops and dups are fatal without
+# checkpoints, so those live in soak-recover.
 SOAK_TRANSPORT ?= chan
+SOAK_NET_FAULT ?= netdelay:rank=*:mean=50us:jitter=0.5
+ifeq ($(SOAK_TRANSPORT),tcp)
+SOAK_FAULT_FULL = $(SOAK_FAULT),$(SOAK_NET_FAULT)
+else
+SOAK_FAULT_FULL = $(SOAK_FAULT)
+endif
 soak:
-	$(GO) run -race ./cmd/soak -fault '$(SOAK_FAULT)' \
+	$(GO) run -race ./cmd/soak -fault '$(SOAK_FAULT_FULL)' \
 		-transport $(SOAK_TRANSPORT) \
 		-flight -flight-out $(SOAK_FLIGHT)
 
@@ -101,20 +111,37 @@ soak:
 # additionally SIGKILLs one worker mid-run (SOAK_RECOVER_PROC_FAULT): the
 # supervisor must respawn it from the spilled epochs. Process faults are
 # meaningless in-process, so the kill clause is only appended off chan.
+# SOAK_TRANSPORT=tcp further appends frame-layer faults
+# (SOAK_RECOVER_NET_FAULT): a dropped frame (lost-frame abort → recovery),
+# a duplicated frame (absorbed by the exactly-once filter), and jittered
+# per-frame delays — and widens the recovery budget for the extra abort.
 SOAK_RECOVER_FAULT ?= panic:rank=3:step=5,corrupt:rank=2:nth=40:flips=2,mapfail:rank=1
 SOAK_RECOVER_PROC_FAULT ?= kill:rank=3:nth=45
+SOAK_RECOVER_NET_FAULT ?= netdrop:rank=1:nth=12,netdup:rank=2:nth=10,netdelay:rank=0:mean=100us:jitter=0.5
 SOAK_CKPT_DIR ?= /tmp/brick-soak-ckpt
 SOAK_RECOVER_FLIGHT ?= /tmp/brick-soak-recover-flight.bin
+SOAK_MAX_RECOVERIES ?= 3
 ifeq ($(SOAK_TRANSPORT),chan)
 SOAK_RECOVER_FAULT_FULL = $(SOAK_RECOVER_FAULT)
+else ifeq ($(SOAK_TRANSPORT),tcp)
+SOAK_RECOVER_FAULT_FULL = $(SOAK_RECOVER_FAULT),$(SOAK_RECOVER_PROC_FAULT),$(SOAK_RECOVER_NET_FAULT)
+SOAK_MAX_RECOVERIES = 5
 else
 SOAK_RECOVER_FAULT_FULL = $(SOAK_RECOVER_FAULT),$(SOAK_RECOVER_PROC_FAULT)
 endif
 soak-recover:
 	$(GO) run -race ./cmd/soak -ckpt -ckpt-every 2 -verify-crc \
-		-transport $(SOAK_TRANSPORT) \
+		-transport $(SOAK_TRANSPORT) -max-recoveries $(SOAK_MAX_RECOVERIES) \
 		-ckpt-dir $(SOAK_CKPT_DIR) -fault '$(SOAK_RECOVER_FAULT_FULL)' \
 		-flight -flight-out $(SOAK_RECOVER_FLIGHT)
+
+# netcal measures the network model's α (ping-pong) and β (bandwidth
+# sweep) over the tcp transport's framed loopback streams and writes a
+# brick-netmodel/v1 profile; pass it anywhere a machine name is accepted
+# (e.g. `weak -machine $(NETCAL_OUT)`). See cmd/netcal.
+NETCAL_OUT ?= brick-netmodel.json
+netcal:
+	$(GO) run ./cmd/netcal -o $(NETCAL_OUT)
 
 # One iteration of every benchmark as a smoke test (no unit tests: -run '^$').
 bench:

@@ -4,6 +4,7 @@ package cli
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -93,11 +94,15 @@ func ParseStencil(name string) (stencil.Stencil, error) {
 	}
 }
 
-// ParseMachine resolves a machine-profile name.
+// ParseMachine resolves a machine-profile name: a built-in profile, or
+// the path of a measured brick-netmodel/v1 profile file (see cmd/netcal).
 func ParseMachine(name string) (netmodel.Machine, error) {
+	if _, err := os.Stat(name); err == nil {
+		return netmodel.LoadFile(name)
+	}
 	m, ok := netmodel.ByName(name)
 	if !ok {
-		return m, fmt.Errorf("unknown machine %q (theta-knl, summit-v100, local)", name)
+		return m, fmt.Errorf("unknown machine %q (theta-knl, summit-v100, local, or a brick-netmodel/v1 profile path)", name)
 	}
 	return m, nil
 }

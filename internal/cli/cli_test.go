@@ -1,11 +1,14 @@
 package cli
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/bricklab/brick/internal/harness"
+	"github.com/bricklab/brick/internal/netmodel"
 )
 
 func TestParseImpl(t *testing.T) {
@@ -96,5 +99,32 @@ func TestParseMachine(t *testing.T) {
 	}
 	if _, err := ParseMachine("frontier"); err == nil {
 		t.Error("unknown machine accepted")
+	}
+}
+
+// TestParseMachineProfileFile: a path to a brick-netmodel/v1 profile
+// (cmd/netcal output) is accepted wherever a built-in name is, and a file
+// that is not a profile fails loud instead of falling back to a default.
+func TestParseMachineProfileFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "measured.json")
+	want := netmodel.ThetaKNL()
+	want.Name = "measured"
+	if err := netmodel.SaveFile(path, want, "test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMachine(path)
+	if err != nil {
+		t.Fatalf("ParseMachine(profile path): %v", err)
+	}
+	if got != want {
+		t.Fatalf("loaded machine %+v, want %+v", got, want)
+	}
+	bad := filepath.Join(dir, "not-a-profile.json")
+	if err := os.WriteFile(bad, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseMachine(bad); err == nil {
+		t.Error("non-profile file accepted as a machine")
 	}
 }

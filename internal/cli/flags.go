@@ -4,7 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"github.com/bricklab/brick/internal/core"
@@ -56,7 +55,7 @@ func RegisterCommon(ghostDefault, brickDefault, itersDefault int) *Common {
 	flag.StringVar(&c.Stencil, "stencil", "7pt", "stencil: 7pt or 125pt")
 	flag.StringVar(&c.Machine, "machine", "theta-knl", "machine profile for the network model")
 	flag.StringVar(&c.Transport, "transport", mpi.DefaultTransport,
-		"mpi transport backend ("+strings.Join(mpi.TransportNames(), ", ")+"); shmem runs each rank as a worker process over a shared-memory segment")
+		"mpi transport backend — "+mpi.TransportUsage())
 	flag.IntVar(&c.Ghost, "ghost", ghostDefault, "ghost width (elements)")
 	flag.IntVar(&c.Brick, "brick", brickDefault, "brick dimension")
 	flag.IntVar(&c.Iters, "I", itersDefault, "timed iterations (timesteps)")

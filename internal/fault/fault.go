@@ -133,14 +133,19 @@ type Injector struct {
 	allocFails []stepClause // step unused
 	corrupts   []corruptClause
 	procs      []procClause
+	netDrops   []netDropClause // drop and dup clauses (see net.go)
+	netDelays  []netDelayClause
+	netParts   []netPartClause
 
-	mu         sync.Mutex
-	rngs       map[int]*rand.Rand
-	sends      map[int]int64
-	panicFired map[panicKey]bool // one-shot: a crash is an event, not a property of the step
-	procSkips  map[int]int       // per-rank process-fault matches to swallow (respawned lives)
-	reg        *metrics.Registry
-	counters   map[counterKey]*metrics.Counter
+	mu            sync.Mutex
+	rngs          map[int]*rand.Rand
+	netFrames     map[int]int64 // outbound frame ordinal per rank (net.go)
+	netPairFrames map[netPairKey]int64
+	sends         map[int]int64
+	panicFired    map[panicKey]bool // one-shot: a crash is an event, not a property of the step
+	procSkips     map[int]int       // per-rank process-fault matches to swallow (respawned lives)
+	reg           *metrics.Registry
+	counters      map[counterKey]*metrics.Counter
 }
 
 // panicKey identifies one fired panic: the clause index plus the concrete
@@ -161,7 +166,8 @@ func New(seed int64) *Injector {
 	return &Injector{
 		seed: seed, rngs: map[int]*rand.Rand{},
 		sends: map[int]int64{}, panicFired: map[panicKey]bool{},
-		procSkips: map[int]int{},
+		procSkips: map[int]int{}, netFrames: map[int]int64{},
+		netPairFrames: map[netPairKey]int64{},
 	}
 }
 
@@ -171,7 +177,8 @@ func (in *Injector) Enabled() bool {
 		return false
 	}
 	return len(in.delays)+len(in.stalls)+len(in.panics)+len(in.mapFails)+
-		len(in.allocFails)+len(in.corrupts)+len(in.procs) > 0
+		len(in.allocFails)+len(in.corrupts)+len(in.procs)+
+		len(in.netDrops)+len(in.netDelays)+len(in.netParts) > 0
 }
 
 // HasProcessFaults reports whether any kill/exit clause is present. These

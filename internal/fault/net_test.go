@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNetFrameNilSafety: the frame hook sits on the tcp transport's send
+// hot path, so the disabled cases must be free of any verdict.
+func TestNetFrameNilSafety(t *testing.T) {
+	var in *Injector
+	if in.HasNetFaults() {
+		t.Error("nil injector claims net faults")
+	}
+	if v := in.NetFrame(0, 1); v != (NetVerdict{}) {
+		t.Errorf("nil injector issued verdict %+v", v)
+	}
+	in = New(1).WithKill(0, 1)
+	if in.HasNetFaults() {
+		t.Error("kill-only injector claims net faults")
+	}
+	if v := in.NetFrame(0, 1); v != (NetVerdict{}) {
+		t.Errorf("kill-only injector issued verdict %+v", v)
+	}
+}
+
+// TestNetDropOrdinal: a drop clause fires on exactly the rank's nth
+// outbound frame, counted across all peers, and on no other frame.
+func TestNetDropOrdinal(t *testing.T) {
+	in := New(1).WithNetDrop(0, 3)
+	if !in.HasNetFaults() || !in.Enabled() {
+		t.Fatal("net drop clause not visible to HasNetFaults/Enabled")
+	}
+	// Frames 1 and 2 go to different peers: the ordinal is per rank, not
+	// per pair.
+	if v := in.NetFrame(0, 1); v.Drop {
+		t.Error("frame 1 dropped")
+	}
+	if v := in.NetFrame(0, 2); v.Drop {
+		t.Error("frame 2 dropped")
+	}
+	if v := in.NetFrame(0, 1); !v.Drop || v.Dup {
+		t.Errorf("frame 3 verdict %+v, want Drop", v)
+	}
+	if v := in.NetFrame(0, 1); v.Drop {
+		t.Error("frame 4 dropped")
+	}
+	// Another rank's frames never match a rank=0 clause.
+	in2 := New(1).WithNetDrop(0, 1)
+	if v := in2.NetFrame(1, 0); v.Drop {
+		t.Error("rank 1 frame matched a rank=0 clause")
+	}
+}
+
+// TestNetDupAndWildcard: dup clauses share the drop ordinal machinery,
+// and rank=* matches every rank with independent per-rank counters.
+func TestNetDupAndWildcard(t *testing.T) {
+	in := New(1).WithNetDup(AnyRank, 2)
+	for rank := 0; rank < 3; rank++ {
+		if v := in.NetFrame(rank, 9); v.Dup {
+			t.Errorf("rank %d frame 1 duplicated", rank)
+		}
+	}
+	for rank := 0; rank < 3; rank++ {
+		if v := in.NetFrame(rank, 9); !v.Dup || v.Drop {
+			t.Errorf("rank %d frame 2 verdict %+v, want Dup", rank, v)
+		}
+	}
+}
+
+// TestNetDelayDeterministic: same seed, same clause, same call sequence
+// must produce the identical jittered delay sequence (replayability),
+// each within mean±jitter.
+func TestNetDelayDeterministic(t *testing.T) {
+	mean, jitter := time.Millisecond, 0.5
+	a := New(42).WithNetDelay(0, mean, jitter)
+	b := New(42).WithNetDelay(0, mean, jitter)
+	lo := time.Duration(float64(mean) * (1 - jitter))
+	hi := time.Duration(float64(mean) * (1 + jitter))
+	for i := 0; i < 16; i++ {
+		va, vb := a.NetFrame(0, 1), b.NetFrame(0, 1)
+		if va.Delay != vb.Delay {
+			t.Fatalf("frame %d: delay diverged across same-seed injectors: %v vs %v", i+1, va.Delay, vb.Delay)
+		}
+		if va.Delay < lo || va.Delay > hi {
+			t.Fatalf("frame %d: delay %v outside [%v, %v]", i+1, va.Delay, lo, hi)
+		}
+	}
+}
+
+// TestNetPartitionPairOrdinal: partition clauses count frames per
+// directed (rank, peer) pair, so traffic to other peers must not consume
+// the ordinal.
+func TestNetPartitionPairOrdinal(t *testing.T) {
+	in := New(1).WithNetPartition(0, 1, 2, 50*time.Millisecond)
+	if v := in.NetFrame(0, 2); v.Partition != 0 {
+		t.Error("frame to peer 2 severed the 0→1 link")
+	}
+	if v := in.NetFrame(0, 1); v.Partition != 0 {
+		t.Error("first 0→1 frame severed (clause says second)")
+	}
+	if v := in.NetFrame(0, 2); v.Partition != 0 {
+		t.Error("another peer-2 frame severed the 0→1 link")
+	}
+	if v := in.NetFrame(0, 1); v.Partition != 50*time.Millisecond {
+		t.Errorf("second 0→1 frame partition %v, want 50ms", v.Partition)
+	}
+	if v := in.NetFrame(0, 1); v.Partition != 0 {
+		t.Error("third 0→1 frame severed again")
+	}
+}
+
+// TestParseNetClauses drives the spec grammar end to end for all four
+// frame-layer kinds, including the nth and dur defaults.
+func TestParseNetClauses(t *testing.T) {
+	in := MustParse("netdrop:rank=1:nth=2,netdup:rank=2,netdelay:rank=0:mean=1ms:jitter=0.5,netpartition:rank=0:peer=1", 7)
+	if !in.HasNetFaults() {
+		t.Fatal("parsed net spec reports no net faults")
+	}
+	if v := in.NetFrame(1, 0); v.Drop {
+		t.Error("netdrop nth=2 fired on frame 1")
+	}
+	if v := in.NetFrame(1, 0); !v.Drop {
+		t.Error("netdrop nth=2 missed frame 2")
+	}
+	if v := in.NetFrame(2, 0); !v.Dup {
+		t.Error("netdup default nth=1 missed the first frame")
+	}
+	v := in.NetFrame(0, 1)
+	if v.Delay <= 0 {
+		t.Errorf("netdelay yielded %v, want positive", v.Delay)
+	}
+	if v.Partition != 100*time.Millisecond {
+		t.Errorf("netpartition default dur = %v, want 100ms", v.Partition)
+	}
+}
+
+// TestParseNetErrors pins the rejection of malformed net clauses.
+func TestParseNetErrors(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"netdrop:rank=0:nth=0", "bad nth"},
+		{"netdup:rank=0:nth=-3", "bad nth"},
+		{"netdrop:rank=0:dur=1s", "unknown field"},
+		{"netdelay:rank=0", "needs mean"},
+		{"netdelay:rank=0:mean=1ms:jitter=2", "bad jitter"},
+		{"netpartition:rank=0:peer=1:dur=soon", "bad dur"},
+		{"netpartition:rank=0:peer=-2", "bad rank"},
+		{"netsplit:rank=0", "netdrop, netdup, netdelay, netpartition"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", tc.spec)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) error %q lacks %q", tc.spec, err, tc.want)
+		}
+	}
+}

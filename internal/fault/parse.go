@@ -19,6 +19,10 @@ import (
 //	corrupt:rank=1:nth=3[:flips=2]         flip bytes of rank 1's 3rd send in flight
 //	kill:rank=3[:nth=2]                    SIGKILL the rank's process at its 2nd send
 //	exit:rank=3:code=7[:nth=2]             exit the rank's process with status 7
+//	netdrop:rank=0:nth=4                   drop the rank's 4th outbound frame (tcp)
+//	netdup:rank=0:nth=4                    duplicate the rank's 4th outbound frame (tcp)
+//	netdelay:rank=*:mean=1ms[:jitter=0.5]  per-frame delay, ±jitter fraction (tcp)
+//	netpartition:rank=0:peer=1:nth=3[:dur=100ms]  sever the 0→1 link before frame 3 (tcp)
 //
 // rank accepts a non-negative integer or * (every rank); kill and exit
 // require a concrete rank — killing every worker leaves nothing to
@@ -221,6 +225,79 @@ func (in *Injector) parseClause(clause string) error {
 			}
 		}
 		in.WithCorrupt(rank, nth, flips)
+	case KindNetDrop, KindNetDup:
+		f, err := fields(rest, "rank", "nth")
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		nth := int64(1)
+		if v := f["nth"]; v != "" {
+			nth, err = strconv.ParseInt(v, 10, 64)
+			if err != nil || nth < 1 {
+				return fmt.Errorf("bad nth %q (1-based frame index)", v)
+			}
+		}
+		if kind == KindNetDrop {
+			in.WithNetDrop(rank, nth)
+		} else {
+			in.WithNetDup(rank, nth)
+		}
+	case KindNetDelay:
+		f, err := fields(rest, "rank", "mean", "jitter")
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		if f["mean"] == "" {
+			return fmt.Errorf("netdelay needs mean=<duration>")
+		}
+		mean, err := parseDur(f["mean"], "mean")
+		if err != nil {
+			return err
+		}
+		jitter := 0.0
+		if v := f["jitter"]; v != "" {
+			jitter, err = strconv.ParseFloat(v, 64)
+			if err != nil || jitter < 0 || jitter > 1 {
+				return fmt.Errorf("bad jitter %q (fraction in [0,1])", v)
+			}
+		}
+		in.WithNetDelay(rank, mean, jitter)
+	case KindNetPartition:
+		f, err := fields(rest, "rank", "peer", "nth", "dur")
+		if err != nil {
+			return err
+		}
+		rank, err := parseRank(f["rank"])
+		if err != nil {
+			return err
+		}
+		peer, err := parseRank(f["peer"])
+		if err != nil {
+			return err
+		}
+		nth := int64(1)
+		if v := f["nth"]; v != "" {
+			nth, err = strconv.ParseInt(v, 10, 64)
+			if err != nil || nth < 1 {
+				return fmt.Errorf("bad nth %q (1-based frame index)", v)
+			}
+		}
+		dur := 100 * time.Millisecond
+		if v := f["dur"]; v != "" {
+			dur, err = parseDur(v, "dur")
+			if err != nil {
+				return err
+			}
+		}
+		in.WithNetPartition(rank, peer, nth, dur)
 	case KindKill, KindExit:
 		allowed := []string{"rank", "nth"}
 		if kind == KindExit {
@@ -257,7 +334,7 @@ func (in *Injector) parseClause(clause string) error {
 		}
 		in.WithExit(rank, nth, code)
 	default:
-		return fmt.Errorf("unknown kind %q (delay, stall, panic, mapfail, allocfail, corrupt, kill, exit)", parts[0])
+		return fmt.Errorf("unknown kind %q (delay, stall, panic, mapfail, allocfail, corrupt, kill, exit, netdrop, netdup, netdelay, netpartition)", parts[0])
 	}
 	return nil
 }

@@ -48,6 +48,10 @@ const (
 	KindPhase          // step-loop phase transition; Part is a Phase* code
 	KindCkpt           // checkpoint epoch deposited at step Step
 	KindRecovery       // recovery rewound this rank
+	// Connection-lifecycle kinds (tcp transport): Peer is the remote rank.
+	KindConnect       // data connection to/from Peer established
+	KindDisconnect    // data connection to/from Peer dropped or was closed
+	KindHeartbeatMiss // Peer's connection silent past the heartbeat-miss threshold
 )
 
 func (k Kind) String() string {
@@ -80,6 +84,12 @@ func (k Kind) String() string {
 		return "ckpt"
 	case KindRecovery:
 		return "recovery"
+	case KindConnect:
+		return "connect"
+	case KindDisconnect:
+		return "disconnect"
+	case KindHeartbeatMiss:
+		return "heartbeat-miss"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -147,7 +157,7 @@ func (e Event) writeFields(b *strings.Builder) {
 		fmt.Fprintf(b, " tile=%d", e.Part)
 		return
 	case KindSendPost, KindRecvPost, KindDeliver, KindWaitStart, KindWaitDone,
-		KindPready, KindParrived:
+		KindPready, KindParrived, KindConnect, KindDisconnect, KindHeartbeatMiss:
 		if e.Peer >= 0 {
 			fmt.Fprintf(b, " peer=%d", e.Peer)
 		} else {

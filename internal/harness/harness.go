@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/bricklab/brick/internal/core"
@@ -116,10 +117,11 @@ type Config struct {
 	Procs [3]int // rank grid (i,j,k); product = world size
 	Dom   [3]int // subdomain elements per rank
 	// Transport selects the mpi backend. Empty or "chan" runs every rank as
-	// a goroutine of this process (the default). "shmem" runs the world
-	// across processes: the harness becomes a supervisor that spawns one
-	// worker process per rank over a shared-memory segment (see
-	// runSupervised and WorkerMain). Cross-process runs reject the
+	// a goroutine of this process (the default). "shmem" and "tcp" run the
+	// world across processes: the harness becomes a supervisor that spawns
+	// one worker process per rank — over a shared-memory segment or framed
+	// loopback TCP streams respectively (see runSupervised and WorkerMain).
+	// Cross-process runs reject the
 	// observability hooks that cannot span processes — Metrics, Trace, a
 	// caller-supplied FlightRec — and GPU (modeled) impls. Checkpoint
 	// recovery works, but requires CheckpointDir: workers spill epochs to
@@ -328,6 +330,10 @@ func (c Config) Validate() error {
 	if c.ranks() <= 0 {
 		return fmt.Errorf("harness: bad rank grid %v", c.Procs)
 	}
+	if name := c.transportName(); mpi.TransportDescription(name) == "" {
+		return fmt.Errorf("harness: unknown transport %q (registered: %s)",
+			name, strings.Join(mpi.TransportNames(), ", "))
+	}
 	if c.Steps <= 0 {
 		return fmt.Errorf("harness: steps must be positive")
 	}
@@ -487,7 +493,13 @@ func Run(cfg Config) (res Result, err error) {
 	if inj.HasProcessFaults() && !cfg.supervised() {
 		// A kill/exit clause fires inside the rank's process — on the chan
 		// transport that is the harness (and test binary) itself.
-		return Result{}, fmt.Errorf("harness: fault %q kills rank processes; it needs a process-per-rank transport (-transport shmem)", cfg.Fault)
+		return Result{}, fmt.Errorf("harness: fault %q kills rank processes; it needs a process-per-rank transport (-transport shmem or tcp)", cfg.Fault)
+	}
+	if inj.HasNetFaults() && cfg.transportName() != "tcp" {
+		// Frame-layer faults live below message matching; only the framed
+		// stream transport consults them, so anywhere else the spec would
+		// silently inject nothing.
+		return Result{}, fmt.Errorf("harness: fault %q injects network faults; they need the tcp transport (-transport tcp)", cfg.Fault)
 	}
 	if cfg.supervised() {
 		// Workers re-parse the fault spec themselves; the parse above only

@@ -80,7 +80,8 @@ func (w wireConfig) config() Config {
 	}
 }
 
-// runSupervised is Run's cross-process driver: it builds the shmem world,
+// runSupervised is Run's cross-process driver: it builds the world (shmem
+// or tcp),
 // spawns one worker process per rank (the worker binary is this executable
 // re-entered through WorkerMain), and aggregates the rank results their
 // envelopes carry. Worker failures — including world aborts — come back as
@@ -101,8 +102,8 @@ func runSupervised(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	defer w.Close()
-	if w.ShmemFile() == nil {
-		return Result{}, fmt.Errorf("harness: transport %q has no mappable segment file; cross-process workers need shared memory", cfg.transportName())
+	if !w.CanSuperviseWorkers() {
+		return Result{}, fmt.Errorf("harness: transport %q cannot host cross-process workers (needs a shmem segment or a tcp coordinator)", cfg.transportName())
 	}
 	spec, err := json.Marshal(wireFrom(cfg))
 	if err != nil {
@@ -291,7 +292,7 @@ func WorkerMain() {
 	if cfg.Checkpoint {
 		// First lives read -1 here; a respawned worker reads the step the
 		// supervisor pinned when it quarantined the segment.
-		cfg.ck = newWorkerCkptState(cfg, w.ShmemRestoreStep())
+		cfg.ck = newWorkerCkptState(cfg, w.RestoreStep())
 	}
 	for {
 		runEpoch()
@@ -301,7 +302,7 @@ func WorkerMain() {
 		// Park at the cross-process recovery barrier; the supervisor's
 		// verdict either re-enters the body from the pinned step or releases
 		// us to report the abort below.
-		resume, restoreStep := w.ShmemParkForRecovery(wk.Rank)
+		resume, restoreStep := w.ParkForRecovery(wk.Rank)
 		if !resume {
 			break
 		}

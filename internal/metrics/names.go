@@ -100,6 +100,21 @@ const (
 	// -flight-depth is too small for the step cadence (labels: rank).
 	FlightEventsDroppedTotal = "flight_events_dropped_total"
 
+	// Transport-connection families (tcp backend, PR 10).
+	//
+	// TransportReconnectsTotal: counter of data-connection re-establishments
+	// after a previously working connection to a peer dropped (labels: rank,
+	// peer). A flapping link shows up here before it shows up as a stall.
+	TransportReconnectsTotal = "transport_reconnects_total"
+	// TransportHeartbeatMissesTotal: counter of heartbeat-interval misses —
+	// an accepted peer connection silent past the miss threshold but not yet
+	// declared dead (labels: rank, peer).
+	TransportHeartbeatMissesTotal = "transport_heartbeat_misses_total"
+	// TransportFramesTotal: counter of wire frames handled by the tcp
+	// backend (labels: kind = data|pdata|ppart|hb|stale-drop|dup-drop|
+	// net-drop|net-dup).
+	TransportFramesTotal = "transport_frames_total"
+
 	// StencilTileSeconds: histogram of per-tile kernel execution time in
 	// the worker pool (no labels; the pool is process-wide).
 	StencilTileSeconds = "stencil_tile_seconds"

@@ -102,6 +102,9 @@ func (w *World) SetMetrics(reg *metrics.Registry) {
 	reg.Describe(metrics.MPIRecvMatchWaitSeconds, "Time a posted receive waited before a send matched (seconds).")
 	reg.Describe(metrics.MPIRecvBytes, "Delivered payload size per receive (bytes).")
 	reg.Describe(metrics.MPIWaitSeconds, "Time blocked in Request.Wait (seconds).")
+	reg.Describe(metrics.TransportReconnectsTotal, "Connection (re-)establishments per rank/peer pair on connection-oriented transports.")
+	reg.Describe(metrics.TransportHeartbeatMissesTotal, "Heartbeat intervals missed per rank/peer pair before a peer was declared dead.")
+	reg.Describe(metrics.TransportFramesTotal, "Transport frames by kind (data, pdata, ppart, hb, stale-drop, dup-drop, net-drop, net-dup).")
 }
 
 // commMetrics caches one rank's histogram series so the per-message hot
@@ -140,6 +143,9 @@ func (w *World) Size() int { return w.size }
 
 // newComm builds one rank's handle.
 func (w *World) newComm(rank int) *Comm {
+	if ra, ok := w.tr.(rankAttacher); ok {
+		ra.attachOnDemand(rank)
+	}
 	c := &Comm{world: w, rank: rank, fl: w.flight.Rank(rank)}
 	if w.reg != nil {
 		c.m = newCommMetrics(w.reg, rank)

@@ -1,13 +1,15 @@
-// Package proc runs a shmem mpi world across processes: a supervisor
-// creates the world (and its shared-memory segment), spawns one worker
-// process per rank with the segment fd inherited, and collects each
-// worker's JSON result envelope; a worker recognizes itself by environment,
-// attaches to the segment, runs exactly one rank, and reports back through
-// a result file.
+// Package proc runs a supervised mpi world across processes: a supervisor
+// creates the world (shmem segment or tcp coordinator), spawns one worker
+// process per rank with the transport's attach handle (inherited fd or
+// environment), and collects each worker's JSON result envelope; a worker
+// recognizes itself by environment, attaches to the world, runs exactly
+// one rank, and reports back through a result file.
 //
 // The contract between the halves is deliberately small:
 //
-//   - fd 3 is the segment file (os/exec ExtraFiles order).
+//   - fd 3 is the segment file (os/exec ExtraFiles order) for shmem
+//     worlds; tcp worlds attach by BRICK_TCP_WORLD (addr|worldID|size)
+//     instead.
 //   - BRICK_WORKER_RANK is the rank this process runs.
 //   - BRICK_WORKER_SPEC is the path of a file holding the caller's opaque
 //     spec bytes (typically a JSON-encoded run configuration).
@@ -19,8 +21,9 @@
 //     worker logs (default: a temp dir that is removed on success).
 //
 // Everything else a worker needs — its incarnation, the checkpoint step a
-// respawned epoch restores from — lives in the segment itself, so a
-// respawn is spawned with the identical environment as a first life.
+// respawned epoch restores from — lives in the world itself (the segment
+// header, or the tcp coordinator's WELCOME), so a respawn is spawned with
+// the identical environment as a first life.
 //
 // A worker that reaches its body always exits 0 and carries failures —
 // including world aborts — inside the envelope's Err field; a nonzero exit
@@ -177,13 +180,21 @@ func Attach() (*Worker, *mpi.World, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("proc: reading spec: %w", err)
 	}
-	seg := os.NewFile(segmentFD, "brick-shmem-segment")
-	if seg == nil {
-		return nil, nil, fmt.Errorf("proc: segment fd %d not inherited", segmentFD)
-	}
-	w, err := mpi.AttachShmemWorld(seg)
-	if err != nil {
-		return nil, nil, err
+	var w *mpi.World
+	if os.Getenv(mpi.EnvTCPWorld) != "" {
+		w, err = mpi.AttachTCPWorld(rank)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		seg := os.NewFile(segmentFD, "brick-shmem-segment")
+		if seg == nil {
+			return nil, nil, fmt.Errorf("proc: segment fd %d not inherited", segmentFD)
+		}
+		w, err = mpi.AttachShmemWorld(seg)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	if rank < 0 || rank >= w.Size() {
 		w.Close()
@@ -191,7 +202,7 @@ func Attach() (*Worker, *mpi.World, error) {
 	}
 	return &Worker{
 		Rank:        rank,
-		Incarnation: w.ShmemIncarnation(rank),
+		Incarnation: w.Incarnation(rank),
 		Spec:        spec,
 		resultPath:  resultPath,
 	}, w, nil
@@ -246,7 +257,7 @@ type Options struct {
 	// parked survivors unwind through their envelopes and Run returns the
 	// death (or the envelopes, for a soft abort) as it would without
 	// recovery. Workers must park at the cross-process recovery barrier
-	// when their world aborts (mpi.World.ShmemParkForRecovery) for rounds
+	// when their world aborts (mpi.World.ParkForRecovery) for rounds
 	// to converge.
 	Recover func(attempt int, death *Death, abortMsg string) (restoreStep int, retry bool)
 	// ConvergeTimeout bounds how long a recovery round waits for every
@@ -271,9 +282,8 @@ type Options struct {
 // a give-up verdict (or an unrecoverable state: a rank completed and
 // exited, a convergence timeout) surfaces them.
 func Run(w *mpi.World, spec []byte, opt Options) ([]Envelope, error) {
-	seg := w.ShmemFile()
-	if seg == nil {
-		return nil, fmt.Errorf("proc: world is not a mappable shmem world (transport %s)", w.Transport())
+	if !w.CanSuperviseWorkers() {
+		return nil, fmt.Errorf("proc: transport %q cannot supervise worker processes", w.Transport())
 	}
 	bin := opt.Bin
 	if bin == "" {
@@ -312,7 +322,7 @@ func Run(w *mpi.World, spec []byte, opt Options) ([]Envelope, error) {
 	size := w.Size()
 	sup := &supervisor{
 		w: w, opt: opt, size: size,
-		bin: bin, seg: seg, logDir: logDir,
+		bin: bin, logDir: logDir,
 		specPath: specPath,
 		resPaths: make([]string, size),
 		logs:     make([]*os.File, size),
@@ -366,7 +376,6 @@ type supervisor struct {
 	size int
 
 	bin, logDir, specPath string
-	seg                   *os.File
 	resPaths              []string
 	logs                  []*os.File
 	cmds                  []*exec.Cmd
@@ -376,7 +385,7 @@ type supervisor struct {
 }
 
 // spawn launches rank r's worker process (first life or respawn: the
-// environment is identical; the segment carries incarnation and restore
+// environment is identical; the world carries incarnation and restore
 // state).
 func (s *supervisor) spawn(r int) error {
 	cmd := exec.Command(s.bin)
@@ -385,8 +394,9 @@ func (s *supervisor) spawn(r int) error {
 		EnvSpec+"="+s.specPath,
 		EnvResult+"="+s.resPaths[r],
 	)
+	cmd.Env = append(cmd.Env, s.w.WorkerSpawnEnv()...)
 	cmd.Stdout, cmd.Stderr = s.logs[r], s.logs[r]
-	cmd.ExtraFiles = []*os.File{s.seg}
+	cmd.ExtraFiles = s.w.WorkerSpawnFiles()
 	if err := cmd.Start(); err != nil {
 		return fmt.Errorf("proc: spawning rank %d worker: %w", r, err)
 	}
@@ -468,7 +478,7 @@ func (s *supervisor) runFailLoud() ([]Envelope, error) {
 			continue
 		}
 		s.state[oc.rank] = wsDead
-		d := deathOf(oc.rank, s.w.ShmemIncarnation(oc.rank), oc.err)
+		d := deathOf(oc.rank, s.w.Incarnation(oc.rank), oc.err)
 		if first == nil {
 			// First hard death: surviving workers may be blocked on the
 			// dead peer forever. Kill the world so their polling waits
@@ -509,13 +519,13 @@ func (s *supervisor) runSupervised() ([]Envelope, error) {
 				continue
 			}
 			s.state[oc.rank] = wsDead
-			dead = append(dead, deathOf(oc.rank, s.w.ShmemIncarnation(oc.rank), oc.err))
+			dead = append(dead, deathOf(oc.rank, s.w.Incarnation(oc.rank), oc.err))
 		case <-tick.C:
 			// Soft-abort round: some rank published a world abort (injected
 			// panic, CRC corruption, watchdog stall) and no process died.
 			// The round begins once the abort is visible; convergence below
 			// waits out the ranks still unwinding toward the barrier.
-			if _, _, ok := s.w.ShmemAbort(); !ok {
+			if _, _, ok := s.w.PublishedAbort(); !ok {
 				continue
 			}
 		}
@@ -538,7 +548,7 @@ func (s *supervisor) runSupervised() ([]Envelope, error) {
 					s.state[oc.rank] = wsExited
 				} else {
 					s.state[oc.rank] = wsDead
-					dead = append(dead, deathOf(oc.rank, s.w.ShmemIncarnation(oc.rank), oc.err))
+					dead = append(dead, deathOf(oc.rank, s.w.Incarnation(oc.rank), oc.err))
 				}
 				drained = false
 			default:
@@ -549,7 +559,7 @@ func (s *supervisor) runSupervised() ([]Envelope, error) {
 					want = append(want, r)
 				}
 			}
-			missing := s.w.ShmemAwaitParked(want, time.Now().Add(10*time.Millisecond))
+			missing := s.w.AwaitParked(want, time.Now().Add(10*time.Millisecond))
 			if len(missing) == 0 && drained {
 				break
 			}
@@ -561,7 +571,7 @@ func (s *supervisor) runSupervised() ([]Envelope, error) {
 						s.cmds[r].Process.Kill()
 					}
 				}
-				s.w.ShmemGiveUpRound()
+				s.w.GiveUpRound()
 				s.reap(err)
 				return nil, err
 			}
@@ -583,11 +593,11 @@ func (s *supervisor) runSupervised() ([]Envelope, error) {
 		// alongside a round forces give-up.
 		retry, restoreStep := false, -1
 		if exited == 0 {
-			_, abortMsg, _ := s.w.ShmemAbort()
+			_, abortMsg, _ := s.w.PublishedAbort()
 			restoreStep, retry = s.opt.Recover(attempt, firstDeath, abortMsg)
 		}
 		if !retry {
-			s.w.ShmemGiveUpRound()
+			s.w.GiveUpRound()
 			s.reap(nil) // parked survivors wake, report, and exit 0
 			if firstDeath != nil {
 				return nil, s.deathError(firstDeath)
@@ -603,7 +613,7 @@ func (s *supervisor) runSupervised() ([]Envelope, error) {
 				deadRanks = append(deadRanks, r)
 			}
 		}
-		s.w.ShmemResumeRound(deadRanks, restoreStep)
+		s.w.ResumeRound(deadRanks, restoreStep)
 		for _, r := range deadRanks {
 			if err := s.spawn(r); err != nil {
 				s.reap(err)

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"os"
 	"sync/atomic"
 	"time"
 )
@@ -63,7 +64,83 @@ func (w *World) ShmemIncarnation(rank int) uint64 {
 // writer touches it until the next round, which cannot begin before this
 // worker parks or dies.
 func (w *World) ShmemRestoreStep() int {
-	return int(atomic.LoadUint64(w.shm("ShmemRestoreStep").w64(offRecStep))) - 1
+	return w.shm("ShmemRestoreStep").restoreStep()
+}
+
+// supervisedTransport implementation: the protocol bodies live on the
+// transport so the generic World wrappers (recovery_supervised.go) drive
+// shmem and tcp worlds identically. The Shmem*-named World methods above
+// and below delegate here and remain the segment-flavored aliases.
+
+func (t *shmemTransport) canSupervise() bool { return t.arena.File() != nil }
+
+func (t *shmemTransport) spawnEnv() []string { return nil }
+
+func (t *shmemTransport) spawnFiles() []*os.File { return []*os.File{t.arena.File()} }
+
+func (t *shmemTransport) restoreStep() int {
+	return int(atomic.LoadUint64(t.w64(offRecStep))) - 1
+}
+
+func (t *shmemTransport) publishedAbort() (rank int, msg string, ok bool) {
+	if atomic.LoadUint64(t.w64(offAbortState)) == 0 {
+		return 0, "", false
+	}
+	rank = int(int64(atomic.LoadUint64(t.w64(offAbortRank))))
+	n := int(atomic.LoadUint64(t.w64(offAbortMsgLen)))
+	return rank, string(t.b[offAbortMsg : offAbortMsg+n]), true
+}
+
+func (t *shmemTransport) parkForRecovery(rank int) (resume bool, restoreStep int) {
+	gen := t.w64(offRecGen)
+	g0 := atomic.LoadUint64(gen)
+	atomic.StoreUint64(t.w64(t.l.parked+rank*8), 1)
+	var sp spinner
+	for atomic.LoadUint64(gen) == g0 {
+		sp.spin()
+	}
+	if atomic.LoadUint64(t.w64(offRecVerdict)) != shmVerdictResume {
+		return false, -1
+	}
+	restoreStep = t.restoreStep()
+	t.resetLocal()
+	t.w.rearmAbort()
+	return true, restoreStep
+}
+
+func (t *shmemTransport) awaitParked(want []int, deadline time.Time) (missing []int) {
+	var sp spinner
+	for {
+		missing = missing[:0]
+		for _, r := range want {
+			if atomic.LoadUint64(t.w64(t.l.parked+r*8)) == 0 {
+				missing = append(missing, r)
+			}
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return missing
+		}
+		sp.spin()
+	}
+}
+
+func (t *shmemTransport) resumeRound(dead []int, restoreStep int) {
+	t.quarantine(dead, restoreStep)
+	t.resetLocal()
+	t.w.rearmAbort()
+	atomic.StoreUint64(t.w64(offRecVerdict), shmVerdictResume)
+	atomic.AddUint64(t.w64(offRecGen), 1)
+}
+
+func (t *shmemTransport) giveUpRound() {
+	for r := 0; r < t.l.size; r++ {
+		atomic.StoreUint64(t.w64(t.l.parked+r*8), 0)
+	}
+	atomic.StoreUint64(t.w64(offRecVerdict), shmVerdictGiveUp)
+	atomic.AddUint64(t.w64(offRecGen), 1)
 }
 
 // ShmemParked lists the ranks currently parked at the cross-process
@@ -93,44 +170,14 @@ func (w *World) ShmemParked() []int {
 // joined — impossible once our parked word is part of its convergence
 // wait.
 func (w *World) ShmemParkForRecovery(rank int) (resume bool, restoreStep int) {
-	t := w.shm("ShmemParkForRecovery")
-	gen := t.w64(offRecGen)
-	g0 := atomic.LoadUint64(gen)
-	atomic.StoreUint64(t.w64(t.l.parked+rank*8), 1)
-	var sp spinner
-	for atomic.LoadUint64(gen) == g0 {
-		sp.spin()
-	}
-	if atomic.LoadUint64(t.w64(offRecVerdict)) != shmVerdictResume {
-		return false, -1
-	}
-	restoreStep = int(atomic.LoadUint64(t.w64(offRecStep))) - 1
-	t.resetLocal()
-	w.rearmAbort()
-	return true, restoreStep
+	return w.shm("ShmemParkForRecovery").parkForRecovery(rank)
 }
 
 // ShmemAwaitParked blocks until every rank in want is parked at the
 // recovery barrier or the deadline passes; it reports the ranks still
 // missing (nil on success). The supervisor's convergence wait.
 func (w *World) ShmemAwaitParked(want []int, deadline time.Time) (missing []int) {
-	t := w.shm("ShmemAwaitParked")
-	var sp spinner
-	for {
-		missing = missing[:0]
-		for _, r := range want {
-			if atomic.LoadUint64(t.w64(t.l.parked+r*8)) == 0 {
-				missing = append(missing, r)
-			}
-		}
-		if len(missing) == 0 {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return missing
-		}
-		sp.spin()
-	}
+	return w.shm("ShmemAwaitParked").awaitParked(want, deadline)
 }
 
 // ShmemResumeRound ends the current recovery round with a retry verdict:
@@ -140,22 +187,12 @@ func (w *World) ShmemAwaitParked(want []int, deadline time.Time) (missing []int)
 // epoch. The caller (the supervisor, with convergence established) then
 // respawns the dead ranks' processes.
 func (w *World) ShmemResumeRound(dead []int, restoreStep int) {
-	t := w.shm("ShmemResumeRound")
-	t.quarantine(dead, restoreStep)
-	t.resetLocal()
-	w.rearmAbort()
-	atomic.StoreUint64(t.w64(offRecVerdict), shmVerdictResume)
-	atomic.AddUint64(t.w64(offRecGen), 1)
+	w.shm("ShmemResumeRound").resumeRound(dead, restoreStep)
 }
 
 // ShmemGiveUpRound ends the current recovery round with a give-up verdict:
 // parked workers wake, observe the verdict, and exit through their result
 // envelopes. The abort words stay published so the cause remains readable.
 func (w *World) ShmemGiveUpRound() {
-	t := w.shm("ShmemGiveUpRound")
-	for r := 0; r < t.l.size; r++ {
-		atomic.StoreUint64(t.w64(t.l.parked+r*8), 0)
-	}
-	atomic.StoreUint64(t.w64(offRecVerdict), shmVerdictGiveUp)
-	atomic.AddUint64(t.w64(offRecGen), 1)
+	w.shm("ShmemGiveUpRound").giveUpRound()
 }

@@ -1,0 +1,154 @@
+package tcpconn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFrameRoundTrip: every payload size in a small sweep survives
+// encode/decode bit-for-bit, including the empty frame.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 64, 4096} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 42, payload); err != nil {
+			t.Fatalf("write %d bytes: %v", n, err)
+		}
+		kind, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d bytes: %v", n, err)
+		}
+		if kind != 42 || !bytes.Equal(got, payload) {
+			t.Fatalf("round trip mismatch at %d bytes: kind=%d", n, kind)
+		}
+	}
+}
+
+// TestFrameEveryPrefixTruncation: every strict prefix of an encoded frame
+// must fail to decode — as clean EOF only at offset zero, as unexpected EOF
+// everywhere else. Mirrors the flight/ckpt codec truncation suites.
+func TestFrameEveryPrefixTruncation(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	full := AppendFrame(nil, 7, payload)
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded", cut, len(full))
+		}
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("empty stream: got %v, want io.EOF", err)
+			}
+			continue
+		}
+		if err == io.EOF {
+			t.Fatalf("prefix of %d/%d bytes returned clean EOF", cut, len(full))
+		}
+	}
+}
+
+// TestFrameEveryByteCorruption: flipping any single byte of an encoded
+// frame must be rejected — never silently yield a frame with different
+// contents. Payload corruption trips the CRC; header corruption trips
+// magic/reserved/length/CRC checks.
+func TestFrameEveryByteCorruption(t *testing.T) {
+	payload := []byte("0123456789abcdefghijklmnopqrstuv")
+	full := AppendFrame(nil, 9, payload)
+	for off := 0; off < len(full); off++ {
+		for _, mask := range []byte{0x01, 0x80} {
+			dam := append([]byte(nil), full...)
+			dam[off] ^= mask
+			kind, got, err := ReadFrame(bytes.NewReader(dam))
+			if err == nil && kind == 9 && bytes.Equal(got, payload) {
+				t.Fatalf("flip of byte %d mask %#x went undetected", off, mask)
+			}
+			// A corrupted length word may legitimately read as truncation
+			// (longer length than stream); everything else must be ErrCorrupt
+			// or an EOF-flavored error — never a clean decode of wrong bytes.
+			if err == nil {
+				t.Fatalf("flip of byte %d mask %#x decoded (kind=%d)", off, mask, kind)
+			}
+		}
+	}
+}
+
+// TestFrameOversizedLengthRejected: a length word past MaxPayload is
+// corruption, not an allocation request.
+func TestFrameOversizedLengthRejected(t *testing.T) {
+	full := AppendFrame(nil, 1, []byte("x"))
+	full[8], full[9], full[10], full[11] = 0xff, 0xff, 0xff, 0x7f
+	_, _, err := ReadFrame(bytes.NewReader(full))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized length: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestBackoffSchedule: the exponential schedule starts at Initial, doubles,
+// and caps at Max.
+func TestBackoffSchedule(t *testing.T) {
+	p := DialPolicy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+// TestDialBudgetExhaustion: dialing a dead address burns exactly the
+// attempt budget and reports it.
+func TestDialBudgetExhaustion(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	p := DialPolicy{Attempts: 3, Initial: time.Millisecond, Max: 2 * time.Millisecond, Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	if _, err := p.Dial(addr); err == nil {
+		t.Fatal("dial of a closed port succeeded")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("budget of 3 attempts exhausted")) {
+		t.Fatalf("error does not report the spent budget: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("budget exhaustion took implausibly long")
+	}
+}
+
+// TestDialSucceedsAfterRetry: the first attempts fail (port closed), then a
+// listener appears and a later attempt under the same budget connects.
+func TestDialSucceedsAfterRetry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		defer ln2.Close()
+		c, err := ln2.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	p := DialPolicy{Attempts: 20, Initial: 5 * time.Millisecond, Max: 20 * time.Millisecond, Jitter: 0.3, Timeout: time.Second}
+	c, err := p.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial under budget after listener appeared: %v", err)
+	}
+	c.Close()
+}

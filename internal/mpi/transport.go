@@ -122,15 +122,24 @@ type persOp interface {
 // value.
 type TransportFactory func(w *World) (Transport, error)
 
-var transportRegistry = map[string]TransportFactory{}
+// transportEntry is one registered backend: its factory plus the one-line
+// description surfaced in flag help and Validate errors, so user-facing
+// text never drifts from what is actually registered.
+type transportEntry struct {
+	factory TransportFactory
+	desc    string
+}
 
-// RegisterTransport registers a backend factory under a name. Backends
+var transportRegistry = map[string]transportEntry{}
+
+// RegisterTransport registers a backend factory under a name, with a
+// one-line description used to build -transport help text. Backends
 // self-register from init; re-registering a name panics.
-func RegisterTransport(name string, f TransportFactory) {
+func RegisterTransport(name, desc string, f TransportFactory) {
 	if _, dup := transportRegistry[name]; dup {
 		panic(fmt.Sprintf("mpi: transport %q registered twice", name))
 	}
-	transportRegistry[name] = f
+	transportRegistry[name] = transportEntry{factory: f, desc: desc}
 }
 
 // TransportNames lists the registered backends, sorted.
@@ -143,6 +152,23 @@ func TransportNames() []string {
 	return names
 }
 
+// TransportDescription returns the registered one-line description for a
+// backend ("" for an unknown name).
+func TransportDescription(name string) string {
+	return transportRegistry[name].desc
+}
+
+// TransportUsage renders every registered backend as "name: description",
+// sorted and semicolon-joined — the body of the -transport flag help.
+func TransportUsage() string {
+	names := TransportNames()
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, n+": "+transportRegistry[n].desc)
+	}
+	return strings.Join(parts, "; ")
+}
+
 // DefaultTransport is the backend NewWorld builds on.
 const DefaultTransport = "chan"
 
@@ -153,13 +179,13 @@ func NewWorldOn(name string, size int) (*World, error) {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
-	f := transportRegistry[name]
-	if f == nil {
+	ent, ok := transportRegistry[name]
+	if !ok {
 		return nil, fmt.Errorf("mpi: unknown transport %q (registered: %s)",
 			name, strings.Join(TransportNames(), ", "))
 	}
 	w := &World{size: size, abortCh: make(chan struct{})}
-	tr, err := f(w)
+	tr, err := ent.factory(w)
 	if err != nil {
 		return nil, fmt.Errorf("mpi: transport %q: %w", name, err)
 	}

@@ -15,9 +15,11 @@ import (
 // side matched second, directly into the posted receive buffer.
 
 func init() {
-	RegisterTransport("chan", func(w *World) (Transport, error) {
-		return newChanTransport(w), nil
-	})
+	RegisterTransport("chan",
+		"every rank a goroutine of this process; delivery over in-process channels",
+		func(w *World) (Transport, error) {
+			return newChanTransport(w), nil
+		})
 }
 
 // chanTransport carries the matching and rendezvous state that used to

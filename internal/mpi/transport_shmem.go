@@ -130,7 +130,11 @@ const (
 	peWords
 )
 
-func init() { RegisterTransport("shmem", newShmemWorldTransport) }
+func init() {
+	RegisterTransport("shmem",
+		"every rank a worker process over a shared-memory segment (memfd + mmap)",
+		newShmemWorldTransport)
+}
 
 // shmSegmentBytes is the segment size: 256 MiB sparse by default (pages
 // commit on touch), overridable with BRICK_SHMEM_BYTES.
@@ -394,12 +398,10 @@ func (w *World) ShmemFile() *os.File {
 // the world is not on shmem.
 func (w *World) ShmemAbort() (rank int, msg string, ok bool) {
 	t, isShmem := w.tr.(*shmemTransport)
-	if !isShmem || atomic.LoadUint64(t.w64(offAbortState)) == 0 {
+	if !isShmem {
 		return 0, "", false
 	}
-	rank = int(int64(atomic.LoadUint64(t.w64(offAbortRank))))
-	n := int(atomic.LoadUint64(t.w64(offAbortMsgLen)))
-	return rank, string(t.b[offAbortMsg : offAbortMsg+n]), true
+	return t.publishedAbort()
 }
 
 // AttachShmemWorld maps an existing shmem-world segment — inherited from

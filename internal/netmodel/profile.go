@@ -1,0 +1,115 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ProfileSchema identifies the JSON machine-profile format version.
+const ProfileSchema = "brick-netmodel/v1"
+
+// Profile is the on-disk form of a Machine: a measured (or hand-tuned)
+// α/β profile that experiments can load by path wherever a built-in
+// machine name is accepted. cmd/netcal writes one from a ping-pong and
+// bandwidth sweep over the tcp transport, turning the built-in profiles
+// from fiction into calibration targets.
+type Profile struct {
+	Schema string `json:"schema"`
+	Name   string `json:"name"`
+	// Source records how the profile was produced (e.g. the netcal
+	// command line), for provenance when profiles are checked in.
+	Source string      `json:"source,omitempty"`
+	Net    LinkProfile `json:"net"`
+	Host   LinkProfile `json:"host,omitempty"`
+	Direct LinkProfile `json:"direct,omitempty"`
+	Fault  LinkProfile `json:"fault,omitempty"`
+	// PageSizeBytes is the host base page size (MemMap padding
+	// granularity); 0 falls back to 4 KiB at load.
+	PageSizeBytes int `json:"page_size_bytes,omitempty"`
+	// TypeElemCostNs is the modeled per-element derived-datatype cost.
+	TypeElemCostNs float64 `json:"type_elem_cost_ns,omitempty"`
+}
+
+// LinkProfile is one α–β channel in JSON form.
+type LinkProfile struct {
+	LatencyNs    float64 `json:"latency_ns"`
+	BandwidthBps float64 `json:"bandwidth_bps"`
+}
+
+func toLinkProfile(l Link) LinkProfile {
+	return LinkProfile{LatencyNs: float64(l.Latency.Nanoseconds()), BandwidthBps: l.Bandwidth}
+}
+
+func (lp LinkProfile) link() Link {
+	return Link{Latency: time.Duration(lp.LatencyNs * float64(time.Nanosecond)), Bandwidth: lp.BandwidthBps}
+}
+
+// ToProfile captures a Machine as a serializable profile.
+func ToProfile(m Machine, source string) Profile {
+	return Profile{
+		Schema: ProfileSchema,
+		Name:   m.Name,
+		Source: source,
+		Net:    toLinkProfile(m.Net),
+		Host:   toLinkProfile(m.Host),
+		Direct: toLinkProfile(m.Direct),
+		Fault:  toLinkProfile(m.Fault),
+
+		PageSizeBytes:  m.PageSize,
+		TypeElemCostNs: float64(m.TypeElemCost.Nanoseconds()),
+	}
+}
+
+// Machine converts a loaded profile back into a Machine, applying the
+// defaults a minimal measured profile leaves unset.
+func (p Profile) Machine() Machine {
+	m := Machine{
+		Name:         p.Name,
+		Net:          p.Net.link(),
+		Host:         p.Host.link(),
+		Direct:       p.Direct.link(),
+		Fault:        p.Fault.link(),
+		PageSize:     p.PageSizeBytes,
+		TypeElemCost: time.Duration(p.TypeElemCostNs * float64(time.Nanosecond)),
+	}
+	if m.PageSize <= 0 {
+		m.PageSize = os.Getpagesize()
+	}
+	return m
+}
+
+// SaveFile writes the machine as a brick-netmodel/v1 profile.
+func SaveFile(path string, m Machine, source string) error {
+	b, err := json.MarshalIndent(ToProfile(m, source), "", "  ")
+	if err != nil {
+		return fmt.Errorf("netmodel: encoding profile: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadFile reads a brick-netmodel/v1 profile and returns its Machine. A
+// wrong schema (or a file that is not a profile at all) is an error, so
+// a stray path passed as -machine fails loud instead of silently
+// modeling with garbage.
+func LoadFile(path string) (Machine, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Machine{}, fmt.Errorf("netmodel: %w", err)
+	}
+	var p Profile
+	if err := json.Unmarshal(b, &p); err != nil {
+		return Machine{}, fmt.Errorf("netmodel: %s: %w", path, err)
+	}
+	if p.Schema != ProfileSchema {
+		return Machine{}, fmt.Errorf("netmodel: %s: unexpected schema %q (want %q)", path, p.Schema, ProfileSchema)
+	}
+	if p.Name == "" {
+		return Machine{}, fmt.Errorf("netmodel: %s: profile has no name", path)
+	}
+	if p.Net.LatencyNs < 0 || p.Net.BandwidthBps < 0 {
+		return Machine{}, fmt.Errorf("netmodel: %s: negative net α/β", path)
+	}
+	return p.Machine(), nil
+}
